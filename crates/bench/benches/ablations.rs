@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices called out in DESIGN.md §3:
+//!
+//! 1. **Streaming vs batch sessionization** — the streaming sessionizer
+//!    emits sessions as they close; the batch variant materializes all
+//!    per-source timestamp vectors first.
+//! 2. **Port pre-filter vs dissect-everything** — the paper's §4.1
+//!    two-stage classification against naively dissecting every UDP
+//!    payload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use quicsand_dissect::{classify_record, dissect_udp_payload, Classification};
+use quicsand_net::{Duration, Timestamp};
+use quicsand_sessions::session::{sessionize, Session, SessionConfig};
+use quicsand_traffic::{Scenario, ScenarioConfig};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+fn synthetic_stream(n: u64) -> Vec<(Timestamp, Ipv4Addr)> {
+    (0..n)
+        .map(|i| {
+            (
+                Timestamp::from_secs(i / 5),
+                Ipv4Addr::from(0x0a00_0000 + (i % 1_733) as u32),
+            )
+        })
+        .collect()
+}
+
+/// The batch alternative: group every packet per source, then split on
+/// gaps. Holds the whole capture's timestamps in memory.
+fn batch_sessionize(stream: &[(Timestamp, Ipv4Addr)], timeout: Duration) -> Vec<Session> {
+    let mut by_src: HashMap<Ipv4Addr, Vec<Timestamp>> = HashMap::new();
+    for (ts, src) in stream {
+        by_src.entry(*src).or_default().push(*ts);
+    }
+    let mut sessions = Vec::new();
+    for (src, times) in by_src {
+        let mut start = times[0];
+        let mut last = times[0];
+        let mut count = 0u64;
+        let mut minute_counts: HashMap<u64, u64> = HashMap::new();
+        for ts in times {
+            if ts.saturating_since(last) > timeout {
+                sessions.push(Session {
+                    src,
+                    start,
+                    end: last,
+                    packet_count: count,
+                    minute_counts: std::mem::take(&mut minute_counts),
+                });
+                start = ts;
+                count = 0;
+            }
+            last = ts;
+            count += 1;
+            *minute_counts.entry(ts.minute_bucket()).or_default() += 1;
+        }
+        sessions.push(Session {
+            src,
+            start,
+            end: last,
+            packet_count: count,
+            minute_counts,
+        });
+    }
+    sessions
+}
+
+fn bench_sessionization_strategies(c: &mut Criterion) {
+    let stream = synthetic_stream(100_000);
+    let timeout = Duration::from_mins(5);
+    let mut group = c.benchmark_group("ablation_sessionize");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("streaming", |b| {
+        b.iter(|| sessionize(stream.iter().copied(), SessionConfig { timeout }).len())
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| batch_sessionize(black_box(&stream), timeout).len())
+    });
+    // Both strategies must agree on the session count.
+    assert_eq!(
+        sessionize(stream.iter().copied(), SessionConfig { timeout }).len(),
+        batch_sessionize(&stream, timeout).len()
+    );
+    group.finish();
+}
+
+fn bench_prefilter_strategies(c: &mut Criterion) {
+    let scenario = Scenario::generate(&ScenarioConfig::test());
+    let mut group = c.benchmark_group("ablation_prefilter");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(scenario.records.len() as u64));
+    group.bench_function("port_filter_then_dissect", |b| {
+        b.iter(|| {
+            scenario
+                .records
+                .iter()
+                .filter(|r| matches!(classify_record(r), Classification::QuicCandidate(_)))
+                .filter_map(|r| dissect_udp_payload(r.udp_payload()?).ok())
+                .count()
+        })
+    });
+    group.bench_function("dissect_everything", |b| {
+        b.iter(|| {
+            scenario
+                .records
+                .iter()
+                .filter_map(|r| dissect_udp_payload(r.udp_payload()?).ok())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sessionization_strategies,
+    bench_prefilter_strategies
+);
+criterion_main!(benches);

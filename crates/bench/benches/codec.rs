@@ -1,0 +1,126 @@
+//! Wire-codec microbenchmarks: varints, packet seal/parse/open, retry
+//! tokens, SipHash. These are the per-packet costs every telescope-
+//! and server-side component pays.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use quicsand_wire::crypto::{seal, Direction, InitialSecrets};
+use quicsand_wire::packet::{parse_datagram, Packet, PacketPayload};
+use quicsand_wire::siphash::{siphash24, SipKey};
+use quicsand_wire::tls::{cipher_suite, ClientHello};
+use quicsand_wire::token::TokenMinter;
+use quicsand_wire::varint::{read_varint, write_varint};
+use quicsand_wire::{ConnectionId, Frame, Version, MIN_INITIAL_SIZE};
+
+fn sample_initial() -> (Vec<u8>, InitialSecrets) {
+    let dcid = ConnectionId::from_u64(0xdead_beef);
+    let keys = InitialSecrets::derive(Version::V1, &dcid);
+    let hello = ClientHello {
+        random: [7; 32],
+        cipher_suites: vec![cipher_suite::AES_128_GCM_SHA256],
+        server_name: Some("www.example.com".into()),
+        alpn: vec!["h3".into()],
+        key_share: Bytes::from_static(&[3; 32]),
+    };
+    let wire = Packet::Initial {
+        version: Version::V1,
+        dcid,
+        scid: ConnectionId::from_u64(0x1234),
+        token: Bytes::new(),
+        packet_number: 0,
+        payload: PacketPayload::new(vec![Frame::Crypto {
+            offset: 0,
+            data: Bytes::from(hello.encode()),
+        }]),
+    }
+    .encode_padded(Some(keys.client), MIN_INITIAL_SIZE)
+    .unwrap();
+    (wire, keys)
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("varint");
+    group.bench_function("write_4byte", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(8);
+            write_varint(&mut buf, black_box(123_456)).unwrap();
+            buf
+        })
+    });
+    let mut encoded = Vec::new();
+    write_varint(&mut encoded, 123_456).unwrap();
+    group.bench_function("read_4byte", |b| {
+        b.iter(|| {
+            let mut slice = black_box(&encoded[..]);
+            read_varint(&mut slice).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let (wire, keys) = sample_initial();
+    let mut group = c.benchmark_group("packet");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("parse_initial_1200B", |b| {
+        b.iter(|| parse_datagram(black_box(&wire), 8).unwrap())
+    });
+    group.bench_function("parse_and_open_initial_1200B", |b| {
+        b.iter(|| {
+            let packets = parse_datagram(black_box(&wire), 8).unwrap();
+            let (p, aad) = &packets[0];
+            p.open(keys.client, None, aad).unwrap()
+        })
+    });
+    group.bench_function("seal_1200B", |b| {
+        let plaintext = vec![0u8; 1150];
+        b.iter(|| {
+            seal(
+                keys.key(Direction::ClientToServer),
+                0,
+                b"aad",
+                black_box(&plaintext),
+            )
+        })
+    });
+    group.bench_function("build_padded_initial", |b| b.iter(|| sample_initial().0));
+    group.finish();
+}
+
+fn bench_token(c: &mut Criterion) {
+    let minter = TokenMinter::new(SipKey { k0: 1, k1: 2 });
+    let odcid = ConnectionId::from_u64(9);
+    let token = minter.mint(100, 0x0a00_0001, &odcid);
+    let mut group = c.benchmark_group("retry_token");
+    group.bench_function("mint", |b| {
+        b.iter(|| minter.mint(black_box(100), 0x0a00_0001, &odcid))
+    });
+    group.bench_function("validate", |b| {
+        b.iter(|| {
+            minter
+                .validate(black_box(&token), 110, 0x0a00_0001)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_siphash(c: &mut Criterion) {
+    let key = SipKey { k0: 1, k1: 2 };
+    let data = vec![0xabu8; 1200];
+    let mut group = c.benchmark_group("siphash");
+    group.throughput(Throughput::Bytes(1200));
+    group.bench_function("hash_1200B", |b| {
+        b.iter(|| siphash24(key, black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_varint,
+    bench_packet,
+    bench_token,
+    bench_siphash
+);
+criterion_main!(benches);

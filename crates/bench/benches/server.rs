@@ -1,0 +1,133 @@
+//! Server-model benchmarks: the per-packet costs behind Table 1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use quicsand_net::Timestamp;
+use quicsand_server::client::{run_handshake, QuicClient};
+use quicsand_server::model::{QuicServerSim, ServerConfig};
+use quicsand_server::replay::{replay_flood, InitialStream, ReplayConfig};
+use std::net::Ipv4Addr;
+
+fn bench_accept_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group.sample_size(20);
+
+    // Accept path: fresh server per iteration batch, distinct initials.
+    group.bench_function("handle_initial_accept", |b| {
+        b.iter_batched(
+            || {
+                let server = QuicServerSim::new(
+                    ServerConfig {
+                        workers: 128,
+                        ..ServerConfig::default()
+                    },
+                    1,
+                );
+                let packets: Vec<_> = InitialStream::new(7).take(256).collect();
+                (server, packets)
+            },
+            |(mut server, packets)| {
+                for (i, p) in packets.iter().enumerate() {
+                    server.handle_datagram(
+                        Timestamp::from_micros(i as u64 * 100),
+                        p.src_ip,
+                        p.src_port,
+                        &p.datagram,
+                    );
+                }
+                black_box(server.stats().accepted)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Retry path: stateless, should be markedly cheaper per packet.
+    group.bench_function("handle_initial_retry", |b| {
+        b.iter_batched(
+            || {
+                let server = QuicServerSim::new(
+                    ServerConfig {
+                        workers: 128,
+                        ..ServerConfig::default()
+                    }
+                    .with_retry(true),
+                    1,
+                );
+                let packets: Vec<_> = InitialStream::new(7).take(256).collect();
+                (server, packets)
+            },
+            |(mut server, packets)| {
+                for (i, p) in packets.iter().enumerate() {
+                    server.handle_datagram(
+                        Timestamp::from_micros(i as u64 * 100),
+                        p.src_ip,
+                        p.src_port,
+                        &p.datagram,
+                    );
+                }
+                black_box(server.stats().retries_sent)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handshake");
+    for retry in [false, true] {
+        group.bench_function(
+            if retry {
+                "full_with_retry"
+            } else {
+                "full_no_retry"
+            },
+            |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut server =
+                        QuicServerSim::new(ServerConfig::default().with_retry(retry), seed);
+                    let mut client = QuicClient::new(seed);
+                    run_handshake(
+                        &mut server,
+                        &mut client,
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        4242,
+                        Timestamp::from_secs(1),
+                    );
+                    assert!(client.is_established());
+                    black_box(client.round_trips())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_replay_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("table1_row_10k_requests", |b| {
+        b.iter(|| {
+            replay_flood(
+                &ReplayConfig {
+                    pps: 1_000,
+                    total_requests: 10_000,
+                    server: ServerConfig::default(),
+                },
+                black_box(1),
+            )
+            .answered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_accept_path,
+    bench_handshake,
+    bench_replay_row
+);
+criterion_main!(benches);

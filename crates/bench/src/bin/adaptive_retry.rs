@@ -1,0 +1,7 @@
+//! Runs the adaptive-RETRY extension experiment (§6 proposal).
+
+fn main() {
+    eprintln!("[quicsand] sweeping retry policies across flood rates (~1 min)");
+    let report = quicsand_core::experiments::adaptive_retry::run();
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 2: research scanner bias in QUIC IBR.
+
+fn main() {
+    let (_, scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig02::run(&scenario, &analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 3: requests vs responses per hour, diurnal peaks.
+
+fn main() {
+    let (_, scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig03::run(&scenario, &analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4: session count vs timeout, knee at ~5 minutes.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig04::run(&analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5: source network types of sessions.
+
+fn main() {
+    let (_, scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig05::run(&scenario, &analysis);
+    println!("{}", report.render());
+}

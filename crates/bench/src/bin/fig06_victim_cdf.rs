@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: CDF of attacks per QUIC flood victim.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig06::run(&analysis);
+    println!("{}", report.render());
+}

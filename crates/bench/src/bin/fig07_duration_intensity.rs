@@ -1,0 +1,8 @@
+//! Regenerates Fig. 7: flood duration and intensity CDFs, QUIC vs
+//! TCP/ICMP.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig07::run(&analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8: multi-vector attack shares.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig08::run(&analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9: per-provider attack properties.
+
+fn main() {
+    let (_, scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig09::run(&scenario, &analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10 (Appendix B): DoS threshold weight sweep.
+
+fn main() {
+    let (_, scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig10::run(&scenario, &analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 11 (Appendix C): single-victim attack timeline.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig11::run(&analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 12 (Appendix C): overlap CDF of concurrent attacks.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig12::run(&analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 13 (Appendix C): sequential attack gap CDF.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::fig13::run(&analysis);
+    println!("{}", report.render());
+}

@@ -1,0 +1,8 @@
+//! Runs the mitigation-strategy comparison (Â§5.2 deployability
+//! insight).
+
+fn main() {
+    eprintln!("[quicsand] evaluating ingress filters against floods");
+    let report = quicsand_core::experiments::mitigation::run();
+    println!("{}", report.render());
+}

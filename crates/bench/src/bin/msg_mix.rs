@@ -1,0 +1,7 @@
+//! Regenerates the §6 message-mix/RETRY analysis.
+
+fn main() {
+    let (_, _scenario, analysis) = quicsand_bench::prepare();
+    let report = quicsand_core::experiments::msgmix::run(&analysis);
+    println!("{}", report.render());
+}

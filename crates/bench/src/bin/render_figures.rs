@@ -1,0 +1,16 @@
+//! Renders every figure as SVG into `figures/` (or the directory in
+//! `QUICSAND_FIGURES_DIR`).
+
+use quicsand_core::experiments::figures;
+use quicsand_core::plot::render_svg;
+
+fn main() {
+    let (_, scenario, analysis) = quicsand_bench::prepare();
+    let dir = std::env::var("QUICSAND_FIGURES_DIR").unwrap_or_else(|_| "figures".to_string());
+    std::fs::create_dir_all(&dir).expect("create figures dir");
+    for (stem, spec) in figures::all(&scenario, &analysis) {
+        let path = format!("{dir}/{stem}.svg");
+        std::fs::write(&path, render_svg(&spec)).expect("write svg");
+        eprintln!("[quicsand] wrote {path}");
+    }
+}

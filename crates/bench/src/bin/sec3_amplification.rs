@@ -1,0 +1,6 @@
+//! Regenerates the §3 amplification-factor comparison.
+
+fn main() {
+    let report = quicsand_core::experiments::sec3_amplification::run();
+    println!("{}", report.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 1: local server DoS resiliency with/without RETRY.
+//!
+//! Independent of the telescope scenario; respects QUICSAND_SCALE for
+//! the replay request counts (rates are always the paper's).
+
+fn main() {
+    let scale = quicsand_bench::Scale::from_env();
+    eprintln!(
+        "[quicsand] replaying Table 1 rows (scale={}, request factor {})",
+        scale.label(),
+        scale.tab01_factor()
+    );
+    let report = quicsand_core::experiments::tab01::run_scaled(scale.tab01_factor());
+    println!("{}", report.render());
+}

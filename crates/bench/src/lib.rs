@@ -1,0 +1,144 @@
+//! # quicsand-bench
+//!
+//! Experiment regeneration harness: one binary per paper table/figure
+//! (see `src/bin/`) plus Criterion performance benches (see
+//! `benches/`).
+//!
+//! Every binary accepts the `QUICSAND_SCALE` environment variable:
+//!
+//! * `test` — seconds; the unit-test preset (tiny counts).
+//! * `demo` — the default; tens of seconds; attack counts large enough
+//!   for stable distribution shapes.
+//! * `paper` — the full April-2021 preset (exact paper event counts,
+//!   documented sub-samples for the two bulk components); minutes.
+//!
+//! `cargo run --release -p quicsand-bench --bin all_experiments`
+//! regenerates every artifact and rewrites `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use quicsand_core::{Analysis, AnalysisConfig};
+use quicsand_traffic::{Scenario, ScenarioConfig};
+
+/// The scale selected via `QUICSAND_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test preset.
+    Test,
+    /// Default demo preset.
+    Demo,
+    /// Full paper preset.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (default: demo).
+    pub fn from_env() -> Scale {
+        match std::env::var("QUICSAND_SCALE").as_deref() {
+            Ok("test") => Scale::Test,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Demo,
+        }
+    }
+
+    /// The scenario configuration for this scale.
+    pub fn scenario_config(self) -> ScenarioConfig {
+        match self {
+            Scale::Test => ScenarioConfig::test(),
+            Scale::Paper => ScenarioConfig::paper_month(),
+            Scale::Demo => demo_config(),
+        }
+    }
+
+    /// The Table 1 request-count scale factor for this scale.
+    pub fn tab01_factor(self) -> f64 {
+        match self {
+            Scale::Test => 0.02,
+            // The saturation mechanics need the paper's full run
+            // lengths (the 60 s state hold only bites after the table
+            // fills); full Table 1 takes ~80 s in release.
+            Scale::Demo => 1.0,
+            Scale::Paper => 1.0,
+        }
+    }
+
+    /// Label for report notes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Demo => "demo",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// The demo preset: 30 days like the paper, event counts reduced ~4x,
+/// distribution parameters identical.
+pub fn demo_config() -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 0x2021_0401,
+        days: 30,
+        research_scans_per_project: 6,
+        research_packets_per_scan: 25_000,
+        research_scan_duration_hours: 10,
+        request_sessions: 5_000,
+        quic_attacks: 800,
+        victim_pool: 110,
+        common_attacks: 2_400,
+        misconfig_sessions: 2_000,
+        garbage_udp443_packets: 500,
+        ..ScenarioConfig::paper_month()
+    }
+}
+
+/// Generates the scenario and runs the analysis for the ambient scale,
+/// printing progress to stderr.
+pub fn prepare() -> (Scale, Scenario, Analysis) {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[quicsand] generating scenario (scale={}, set QUICSAND_SCALE=test|demo|paper to change)",
+        scale.label()
+    );
+    let t0 = std::time::Instant::now();
+    let scenario = Scenario::generate(&scale.scenario_config());
+    eprintln!(
+        "[quicsand] {} records generated in {:.1?}; running analysis pipeline",
+        scenario.records.len(),
+        t0.elapsed()
+    );
+    let t1 = std::time::Instant::now();
+    let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+    eprintln!(
+        "[quicsand] analysis done in {:.1?}: {} QUIC attacks, {} common attacks",
+        t1.elapsed(),
+        analysis.quic_attacks.len(),
+        analysis.common_attacks.len()
+    );
+    (scale, scenario, analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_config_is_valid_and_month_long() {
+        let c = demo_config();
+        c.validate();
+        assert_eq!(c.days, 30);
+        assert_eq!(c.quic_duration_median_secs, 255.0);
+    }
+
+    #[test]
+    fn scale_parsing_defaults_to_demo() {
+        // Environment-independent check of the mapping.
+        assert_eq!(Scale::Test.scenario_config(), ScenarioConfig::test());
+        assert_eq!(
+            Scale::Paper.scenario_config(),
+            ScenarioConfig::paper_month()
+        );
+        assert_eq!(Scale::Demo.scenario_config(), demo_config());
+        assert!(Scale::Paper.tab01_factor() == 1.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The end-to-end measurement pipeline (§4 + §5.1/§5.2 mechanics).
+//!
+//! [`Analysis::run`] executes, in order:
+//!
+//! 1. **Ingest** — port filter + dissection ([`quicsand_telescope`]).
+//! 2. **Sanitize** — behavioural research-scanner detection corroborated
+//!    with the AS database; research traffic is split off (Fig. 2).
+//! 3. **Sessionize** — requests and responses separately, 5-minute
+//!    timeout (Fig. 4 default).
+//! 4. **Infer DoS** — Moore et al. thresholds on response sessions
+//!    (QUIC) and on TCP/ICMP baseline sessions.
+//! 5. **Correlate** — multi-vector classification of QUIC floods
+//!    against common floods.
+//!
+//! Every intermediate product is a public field so experiments (and
+//! downstream users) can compute whatever the paper did not.
+
+use quicsand_dissect::Direction;
+use quicsand_net::Duration;
+use quicsand_sessions::dos::{detect_attacks, Attack, AttackProtocol, DosThresholds};
+use quicsand_sessions::multivector::{classify_multivector, MultiVectorReport};
+use quicsand_sessions::session::{Session, SessionConfig, Sessionizer};
+use quicsand_telescope::{
+    HourlySeries, IngestStats, QuicObservation, ResearchFilter, TelescopePipeline,
+};
+use quicsand_traffic::Scenario;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Pipeline parameters (the paper's §4.1 choices).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Sessionization timeout (paper: 5 minutes, the Fig. 4 knee).
+    pub session_timeout: Duration,
+    /// DoS thresholds (paper: Moore et al. defaults).
+    pub thresholds: DosThresholds,
+    /// Behavioural research-scanner detection: minimum request packets.
+    pub research_min_packets: u64,
+    /// Behavioural research-scanner detection: minimum unique targets.
+    pub research_min_dsts: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            session_timeout: Duration::from_mins(5),
+            thresholds: DosThresholds::moore(),
+            research_min_packets: 500,
+            research_min_dsts: 400,
+        }
+    }
+}
+
+/// All pipeline products.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Ingest counters.
+    pub ingest: IngestStats,
+    /// Identified research scanner sources.
+    pub research_sources: HashSet<Ipv4Addr>,
+    /// Hourly packet counts: research scanners (Fig. 2).
+    pub research_hourly: HourlySeries,
+    /// Hourly packet counts: sanitized requests (Fig. 3).
+    pub request_hourly: HourlySeries,
+    /// Hourly packet counts: sanitized responses (Fig. 3).
+    pub response_hourly: HourlySeries,
+    /// Research packet total (before sanitization).
+    pub research_packets: u64,
+    /// Sanitized request observations.
+    pub requests: Vec<QuicObservation>,
+    /// Sanitized response observations.
+    pub responses: Vec<QuicObservation>,
+    /// Request sessions.
+    pub request_sessions: Vec<Session>,
+    /// Response sessions.
+    pub response_sessions: Vec<Session>,
+    /// Detected QUIC floods.
+    pub quic_attacks: Vec<Attack>,
+    /// TCP/ICMP baseline sessions.
+    pub common_sessions: Vec<Session>,
+    /// Detected TCP/ICMP floods.
+    pub common_attacks: Vec<Attack>,
+    /// Multi-vector correlation.
+    pub multivector: MultiVectorReport,
+    /// The configuration used.
+    pub config: AnalysisConfig,
+}
+
+impl Analysis {
+    /// Runs the complete pipeline on a scenario.
+    pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> Analysis {
+        // 1. Ingest.
+        let mut pipeline = TelescopePipeline::new();
+        pipeline.ingest_all(&scenario.records);
+        let (observations, baseline, ingest) = pipeline.finish();
+
+        // 2. Sanitize: behavioural detection corroborated by PeeringDB.
+        let filter = ResearchFilter::detect_with_asdb(
+            &observations,
+            &scenario.world.asdb,
+            config.research_min_packets,
+            config.research_min_dsts,
+        );
+        let research_sources = filter.sources().clone();
+
+        let mut research_hourly = HourlySeries::new();
+        let mut request_hourly = HourlySeries::new();
+        let mut response_hourly = HourlySeries::new();
+        let mut research_packets = 0u64;
+        let mut requests = Vec::new();
+        let mut responses = Vec::new();
+        for obs in observations {
+            if filter.is_research(obs.src) {
+                research_packets += 1;
+                research_hourly.add(obs.ts);
+                continue;
+            }
+            match obs.direction {
+                Direction::Request => {
+                    request_hourly.add(obs.ts);
+                    requests.push(obs);
+                }
+                Direction::Response => {
+                    response_hourly.add(obs.ts);
+                    responses.push(obs);
+                }
+            }
+        }
+
+        // 3. Sessionize (observations are in capture order).
+        let session_config = SessionConfig {
+            timeout: config.session_timeout,
+        };
+        let mut request_sessionizer = Sessionizer::new(session_config);
+        for obs in &requests {
+            request_sessionizer.offer(obs.ts, obs.src);
+        }
+        let request_sessions = request_sessionizer.finish();
+
+        let mut response_sessionizer = Sessionizer::new(session_config);
+        for obs in &responses {
+            response_sessionizer.offer(obs.ts, obs.src);
+        }
+        let response_sessions = response_sessionizer.finish();
+
+        let mut common_sessionizer = Sessionizer::new(session_config);
+        for record in &baseline {
+            common_sessionizer.offer(record.ts, record.src);
+        }
+        let common_sessions = common_sessionizer.finish();
+
+        // 4. DoS inference.
+        let quic_attacks =
+            detect_attacks(&response_sessions, AttackProtocol::Quic, &config.thresholds);
+        let common_attacks = detect_attacks(
+            &common_sessions,
+            AttackProtocol::TcpIcmp,
+            &config.thresholds,
+        );
+
+        // 5. Multi-vector correlation.
+        let multivector = classify_multivector(&quic_attacks, &common_attacks);
+
+        Analysis {
+            ingest,
+            research_sources,
+            research_hourly,
+            request_hourly,
+            response_hourly,
+            research_packets,
+            requests,
+            responses,
+            request_sessions,
+            response_sessions,
+            quic_attacks,
+            common_sessions,
+            common_attacks,
+            multivector,
+            config: *config,
+        }
+    }
+
+    /// Distinct flood victims.
+    pub fn victims(&self) -> HashSet<Ipv4Addr> {
+        self.quic_attacks.iter().map(|a| a.victim).collect()
+    }
+
+    /// The response observations attributable to one attack (victim +
+    /// time window).
+    pub fn attack_observations<'a>(&'a self, attack: &Attack) -> Vec<&'a QuicObservation> {
+        self.responses
+            .iter()
+            .filter(|o| o.src == attack.victim && o.ts >= attack.start && o.ts <= attack.end)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicsand_traffic::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    /// The test scenario is expensive enough to share across tests.
+    fn analysis() -> &'static (Scenario, Analysis) {
+        static CELL: OnceLock<(Scenario, Analysis)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let scenario = Scenario::generate(&ScenarioConfig::test());
+            let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+            (scenario, analysis)
+        })
+    }
+
+    #[test]
+    fn research_scanners_identified_exactly() {
+        let (scenario, a) = analysis();
+        let expected: HashSet<Ipv4Addr> = scenario
+            .world
+            .research_scanners()
+            .iter()
+            .map(|s| s.addr)
+            .collect();
+        assert_eq!(a.research_sources, expected);
+        // All research packets (and only those) split off.
+        assert_eq!(a.research_packets, scenario.truth.research_packets);
+    }
+
+    #[test]
+    fn sanitized_directions_match_truth() {
+        let (scenario, a) = analysis();
+        // Garbage packets fail dissection, so sanitized counts equal
+        // truth counts exactly.
+        assert_eq!(a.requests.len() as u64, scenario.truth.request_packets);
+        assert_eq!(a.responses.len() as u64, scenario.truth.response_packets);
+        assert_eq!(
+            a.ingest.quic_false_positives,
+            scenario.truth.garbage_packets
+        );
+    }
+
+    #[test]
+    fn detected_attacks_match_planted_victims() {
+        let (scenario, a) = analysis();
+        assert!(!a.quic_attacks.is_empty());
+        let planted: HashSet<Ipv4Addr> = scenario.truth.plan.victims.iter().copied().collect();
+        for attack in &a.quic_attacks {
+            assert!(
+                planted.contains(&attack.victim),
+                "detected victim {} was not planted",
+                attack.victim
+            );
+        }
+        // Detection recall: most planted attacks qualify.
+        let detected = a.quic_attacks.len() as f64;
+        let planted_count = scenario.truth.plan.quic.len() as f64;
+        assert!(
+            detected / planted_count > 0.6,
+            "recall {detected}/{planted_count}"
+        );
+    }
+
+    #[test]
+    fn attack_windows_align_with_plan() {
+        let (scenario, a) = analysis();
+        // Every detected attack must be coverable by a planted window
+        // (within the session timeout of slack).
+        for attack in &a.quic_attacks {
+            let matched = scenario.truth.plan.quic.iter().any(|p| {
+                p.victim == attack.victim
+                    && attack.start.as_secs() + 30 >= p.start_secs
+                    && attack.end.as_secs() <= p.start_secs + p.duration_secs + 330
+            });
+            assert!(
+                matched,
+                "attack on {} at {} unmatched",
+                attack.victim, attack.start
+            );
+        }
+    }
+
+    #[test]
+    fn common_attacks_detected() {
+        let (_, a) = analysis();
+        assert!(!a.common_attacks.is_empty());
+        assert!(!a.common_sessions.is_empty());
+        // Durations of common floods exceed QUIC floods in the median
+        // (Fig. 7 shape) — allow slack at the tiny test scale.
+        let median = |attacks: &[Attack]| {
+            let mut d: Vec<u64> = attacks.iter().map(|x| x.duration().as_secs()).collect();
+            d.sort_unstable();
+            d[d.len() / 2]
+        };
+        assert!(median(&a.common_attacks) > median(&a.quic_attacks));
+    }
+
+    #[test]
+    fn multivector_report_covers_all_attacks() {
+        let (_, a) = analysis();
+        assert_eq!(a.multivector.attacks.len(), a.quic_attacks.len());
+        let total: usize = a.multivector.class_counts.values().sum();
+        assert_eq!(total, a.quic_attacks.len());
+    }
+
+    #[test]
+    fn attack_observations_are_scoped() {
+        let (_, a) = analysis();
+        let attack = &a.quic_attacks[0];
+        let obs = a.attack_observations(attack);
+        assert!(!obs.is_empty());
+        assert_eq!(obs.len() as u64, attack.packet_count);
+        for o in obs {
+            assert_eq!(o.src, attack.victim);
+        }
+    }
+
+    #[test]
+    fn no_retry_in_the_wild() {
+        let (_, a) = analysis();
+        assert!(a.responses.iter().all(|o| !o.dissected.has_retry()));
+    }
+}

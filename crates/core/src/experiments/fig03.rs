@@ -1,0 +1,131 @@
+//! Fig. 3 — sanitized QUIC packets by type: requests are diurnal,
+//! responses erratic.
+//!
+//! The paper: 15 % requests / 85 % responses; requests peak at 6:00 and
+//! 18:00 UTC; responses spike erratically (flood backscatter).
+
+use crate::analysis::Analysis;
+use crate::report::{fmt_f64, fmt_percent, Report};
+use quicsand_traffic::Scenario;
+
+/// Runs the experiment.
+pub fn run(scenario: &Scenario, analysis: &Analysis) -> Report {
+    let mut report = Report::new(
+        "fig03",
+        "Sanitized QUIC packets by type (per hour), with hour-of-day request profile",
+    )
+    .with_columns(["hour", "requests", "responses"]);
+
+    let hours = u64::from(scenario.config.days) * 24;
+    for hour in 0..hours {
+        report.push_row([
+            hour.to_string(),
+            analysis.request_hourly.get(hour).to_string(),
+            analysis.response_hourly.get(hour).to_string(),
+        ]);
+    }
+
+    let requests = analysis.requests.len() as f64;
+    let responses = analysis.responses.len() as f64;
+    let total = requests + responses;
+    report.push_finding(
+        "request share of sanitized packets",
+        "15%",
+        &fmt_percent(requests / total),
+    );
+    report.push_finding(
+        "response share of sanitized packets",
+        "85%",
+        &fmt_percent(responses / total),
+    );
+
+    // Diurnal peaks: the two highest hours of the request profile at
+    // least 6 hours apart (the profile is 12h-periodic, so adjacent
+    // noisy hours must not masquerade as the second peak).
+    let profile = analysis.request_hourly.hour_of_day_profile();
+    let mut ranked: Vec<(usize, f64)> = profile.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    let first = ranked[0].0;
+    let second = ranked[1..]
+        .iter()
+        .find(|(h, _)| {
+            let d = (*h as i64 - first as i64).rem_euclid(24);
+            d.min(24 - d) >= 6
+        })
+        .map_or(ranked[1].0, |(h, _)| *h);
+    let mut peaks = [first, second];
+    peaks.sort_unstable();
+    report.push_finding(
+        "request activity peaks (UTC hours)",
+        "06:00 and 18:00",
+        &format!("{:02}:00 and {:02}:00", peaks[0], peaks[1]),
+    );
+
+    // Stability contrast: coefficient of variation.
+    let request_cv = analysis.request_hourly.coefficient_of_variation(hours);
+    let response_cv = analysis.response_hourly.coefficient_of_variation(hours);
+    report.push_finding(
+        "hourly variability (CV) requests vs responses",
+        "stable vs erratic",
+        &format!("{} vs {}", fmt_f64(request_cv), fmt_f64(response_cv)),
+    );
+    report.push_note(
+        "the measured request share sits below the paper's 15%: our flood          backscatter distribution is mean-heavier than the paper's average          response session implies (a consequence of matching the Fig. 7          duration/intensity tails); the qualitative claims — diurnal          requests, erratic responses, responses dominating — all hold",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisConfig;
+    use quicsand_traffic::ScenarioConfig;
+
+    #[test]
+    fn responses_dominate_and_are_more_erratic() {
+        let scenario = Scenario::generate(&ScenarioConfig::test());
+        let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+        let report = run(&scenario, &analysis);
+        let response_share: f64 = report.findings[1]
+            .measured
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(response_share > 50.0, "response share {response_share}%");
+        // CV finding: responses more variable than requests.
+        let cvs: Vec<f64> = report.findings[3]
+            .measured
+            .split(" vs ")
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(
+            cvs[1] > cvs[0],
+            "request CV {} vs response CV {}",
+            cvs[0],
+            cvs[1]
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_near_paper_hours() {
+        // Peaks need volume; use a request-heavy scenario.
+        let mut config = ScenarioConfig::test();
+        config.request_sessions = 2_000;
+        config.quic_attacks = 10;
+        config.common_attacks = 10;
+        config.misconfig_sessions = 20;
+        let scenario = Scenario::generate(&config);
+        let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+        let report = run(&scenario, &analysis);
+        let measured = &report.findings[2].measured;
+        // Accept ±1 hour around each paper peak.
+        let hours: Vec<i64> = measured
+            .split(" and ")
+            .map(|s| s[..2].parse().unwrap())
+            .collect();
+        assert!(
+            (hours[0] - 6).abs() <= 1 && (hours[1] - 18).abs() <= 1,
+            "peaks {measured}"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 4 — influence of the session timeout on the number of sessions.
+//!
+//! The paper sweeps 1–60 minutes, observes a significant reduction up
+//! to ~5 minutes and picks that knee; the `timeout = ∞` floor is one
+//! session per source.
+
+use crate::analysis::Analysis;
+use crate::report::Report;
+use quicsand_net::{Duration, Timestamp};
+use quicsand_sessions::session::timeout_sweep;
+use std::net::Ipv4Addr;
+
+/// Runs the experiment.
+pub fn run(analysis: &Analysis) -> Report {
+    let mut report = Report::new(
+        "fig04",
+        "Number of sessions vs session timeout (sanitized QUIC traffic)",
+    )
+    .with_columns(["timeout_min", "sessions"]);
+
+    // Merge requests and responses into one time-ordered stream, as the
+    // paper sessionizes the whole sanitized trace.
+    let mut stream: Vec<(Timestamp, Ipv4Addr)> = analysis
+        .requests
+        .iter()
+        .chain(analysis.responses.iter())
+        .map(|o| (o.ts, o.src))
+        .collect();
+    stream.sort_unstable_by_key(|(ts, _)| *ts);
+
+    let timeouts: Vec<Duration> = (1..=60).map(Duration::from_mins).collect();
+    let sweep = timeout_sweep(stream, &timeouts);
+    for (timeout, count) in &sweep.counts {
+        report.push_row([(timeout.as_secs() / 60).to_string(), count.to_string()]);
+    }
+
+    // 2 % per-minute marginal reduction: the "significant reduction"
+    // criterion the paper applies visually.
+    let knee = sweep.knee(0.02);
+    report.push_finding(
+        "knee point (selected timeout)",
+        "~5 minutes",
+        &knee.map_or("none".to_string(), |k| {
+            format!("{} minutes", k.as_secs() / 60)
+        }),
+    );
+    report.push_finding(
+        "sessions at timeout = infinity (floor)",
+        "(lower bound)",
+        &sweep.infinity_floor.to_string(),
+    );
+    let first = sweep.counts.first().map_or(0, |(_, c)| *c);
+    let at_five = sweep
+        .counts
+        .iter()
+        .find(|(t, _)| t.as_secs() == 300)
+        .map_or(0, |(_, c)| *c);
+    report.push_finding(
+        "session reduction from 1 min to 5 min",
+        "significant",
+        &format!("{first} -> {at_five}"),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisConfig;
+    use quicsand_traffic::{Scenario, ScenarioConfig};
+
+    #[test]
+    fn sweep_decreases_and_knee_is_early() {
+        let scenario = Scenario::generate(&ScenarioConfig::test());
+        let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+        let report = run(&analysis);
+        assert_eq!(report.rows.len(), 60);
+        let counts: Vec<u64> = report.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "session counts must be non-increasing");
+        }
+        // The knee must sit in the single-digit minutes like the paper.
+        let knee: u64 = report.findings[0]
+            .measured
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((1..=10).contains(&knee), "knee at {knee} minutes");
+    }
+}

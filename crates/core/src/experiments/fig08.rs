@@ -1,0 +1,97 @@
+//! Fig. 8 — multi-vector attacks: concurrent / sequential / isolated
+//! shares.
+//!
+//! The paper: 51 % of QUIC floods overlap in time with TCP/ICMP floods,
+//! 40 % hit a victim that was also attacked at another time, only 9 %
+//! are unrelated to any common flood.
+
+use crate::analysis::Analysis;
+use crate::report::{fmt_percent, Report};
+use quicsand_sessions::multivector::MultiVectorClass;
+
+/// Runs the experiment.
+pub fn run(analysis: &Analysis) -> Report {
+    let mut report = Report::new(
+        "fig08",
+        "Multi-vector attacks: QUIC floods relative to TCP/ICMP floods",
+    )
+    .with_columns(["class", "QUIC attacks", "share"]);
+
+    let total = analysis.multivector.attacks.len().max(1);
+    for class in [
+        MultiVectorClass::Concurrent,
+        MultiVectorClass::Sequential,
+        MultiVectorClass::Isolated,
+    ] {
+        let count = analysis
+            .multivector
+            .class_counts
+            .get(class.label())
+            .copied()
+            .unwrap_or(0);
+        report.push_row([
+            class.label().to_string(),
+            count.to_string(),
+            fmt_percent(count as f64 / total as f64),
+        ]);
+    }
+
+    report.push_finding(
+        "concurrent with TCP/ICMP floods",
+        "51%",
+        &fmt_percent(analysis.multivector.share(MultiVectorClass::Concurrent)),
+    );
+    report.push_finding(
+        "sequential to TCP/ICMP floods",
+        "40%",
+        &fmt_percent(analysis.multivector.share(MultiVectorClass::Sequential)),
+    );
+    report.push_finding(
+        "isolated QUIC floods",
+        "9%",
+        &fmt_percent(analysis.multivector.share(MultiVectorClass::Isolated)),
+    );
+    let gaps = analysis.multivector.gap_seconds();
+    if !gaps.is_empty() {
+        let mean_hours = gaps.iter().sum::<f64>() / gaps.len() as f64 / 3_600.0;
+        report.push_finding(
+            "mean gap of sequential attacks",
+            "36 h",
+            &format!("{mean_hours:.1} h"),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisConfig;
+    use quicsand_traffic::{Scenario, ScenarioConfig};
+
+    #[test]
+    fn shares_follow_paper_ordering() {
+        let scenario = Scenario::generate(&ScenarioConfig::test());
+        let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+        let report = run(&analysis);
+        let pct = |i: usize| -> f64 {
+            report.findings[i]
+                .measured
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        let (concurrent, sequential, isolated) = (pct(0), pct(1), pct(2));
+        assert!(
+            concurrent > sequential && sequential > isolated,
+            "{concurrent} / {sequential} / {isolated}"
+        );
+        // Around half concurrent (generous band at test scale).
+        assert!(
+            (30.0..=70.0).contains(&concurrent),
+            "concurrent {concurrent}%"
+        );
+        assert!(isolated < 25.0, "isolated {isolated}%");
+        assert!((concurrent + sequential + isolated - 100.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 13 (Appendix C) — time gaps between sequential QUIC attacks
+//! and the nearest TCP/ICMP attack.
+//!
+//! The paper: 82 % of sequential attacks have a break of more than one
+//! hour; gaps reach up to 28 days — long gaps argue these are not part
+//! of one coordinated multi-vector event.
+
+use crate::analysis::Analysis;
+use crate::report::{fmt_percent, Report};
+use quicsand_sessions::Cdf;
+
+/// Runs the experiment.
+pub fn run(analysis: &Analysis) -> Report {
+    let mut report = Report::new(
+        "fig13",
+        "CDF of time gaps between sequential QUIC attacks and TCP/ICMP attacks",
+    )
+    .with_columns(["gap [h]", "CDF"]);
+
+    let gaps_hours: Vec<f64> = analysis
+        .multivector
+        .gap_seconds()
+        .iter()
+        .map(|s| s / 3_600.0)
+        .collect();
+    let cdf = Cdf::new(gaps_hours.clone());
+    for (x, y) in cdf.points() {
+        report.push_row([format!("{x:.2}"), format!("{y:.4}")]);
+    }
+
+    let over_hour = gaps_hours.iter().filter(|g| **g > 1.0).count();
+    report.push_finding(
+        "sequential attacks with gap > 1 h",
+        "82%",
+        &fmt_percent(over_hour as f64 / gaps_hours.len().max(1) as f64),
+    );
+    report.push_finding(
+        "maximum gap",
+        "up to 28 days",
+        &format!("{:.1} days", cdf.max().unwrap_or(0.0) / 24.0),
+    );
+    let mean = if gaps_hours.is_empty() {
+        0.0
+    } else {
+        gaps_hours.iter().sum::<f64>() / gaps_hours.len() as f64
+    };
+    report.push_finding("mean gap", "36 h", &format!("{mean:.1} h"));
+    report.push_note(
+        "the mean gap is compressed relative to the paper: heavily attacked victims          host many companion floods, so the *nearest* common flood sits closer than          the planted sequential gap; the >1 h share and the day-scale tail are the          reproduced shape",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisConfig;
+    use quicsand_traffic::{Scenario, ScenarioConfig};
+
+    #[test]
+    fn gaps_are_heavy_tailed_hours() {
+        let scenario = Scenario::generate(&ScenarioConfig::test());
+        let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+        let report = run(&analysis);
+        let over_hour: f64 = report.findings[0]
+            .measured
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(over_hour > 60.0, "gap > 1h share {over_hour}%");
+        let mean: f64 = report.findings[2]
+            .measured
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(mean > 2.0, "mean gap {mean} h");
+    }
+}

@@ -1,0 +1,257 @@
+//! §5.2 extension — countermeasure deployment: port-based vs
+//! QUIC-specific filtering, measured.
+//!
+//! The paper's operational takeaway: "operators may protect against
+//! QUIC floods by filtering based on common transport protocol features
+//! (i.e., ports) instead of using QUIC-specific features (i.e., SCIDs),
+//! which eases the deployment of countermeasures." This experiment puts
+//! numbers on that recommendation across two flood types:
+//!
+//! * a **botnet** flood (real, unspoofed sources — Mirai-style), and
+//! * a **spoofed** flood (random source per packet, the kind whose
+//!   backscatter the telescope captures).
+//!
+//! The QUIC-aware per-source connection budget is surgical against the
+//! botnet but is *defeated outright* by address spoofing — every packet
+//! is a "new source" — while its flow table explodes. The content-blind
+//! port limiter degrades gracefully against both at O(1) state, paying
+//! with collateral damage. Hence the paper's advice.
+
+use crate::report::{fmt_percent, Report};
+use quicsand_net::{Duration, Timestamp};
+use quicsand_server::filter::{ConnectionIdLimiter, IngressFilter, PortRateLimiter};
+use quicsand_server::replay::InitialStream;
+use std::net::Ipv4Addr;
+
+/// Flood source model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodKind {
+    /// Unspoofed bots: a fixed pool of 50 sources.
+    Botnet,
+    /// Randomly spoofed source per packet.
+    Spoofed,
+}
+
+impl FloodKind {
+    fn label(self) -> &'static str {
+        match self {
+            FloodKind::Botnet => "botnet",
+            FloodKind::Spoofed => "spoofed",
+        }
+    }
+}
+
+/// Result of pushing a mixed flood+legit stream through one filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterOutcome {
+    /// Strategy label.
+    pub label: &'static str,
+    /// Flood model.
+    pub flood: FloodKind,
+    /// Share of flood packets admitted (lower is better).
+    pub flood_admitted: f64,
+    /// Share of legitimate packets admitted (higher is better).
+    pub legit_admitted: f64,
+    /// State entries held at the end (deployability cost).
+    pub state_entries: usize,
+}
+
+/// Pushes `secs` seconds of flood at `flood_pps` interleaved with a
+/// legitimate client population (20 clients, one fresh connection every
+/// 10 s each) through `filter`.
+pub fn evaluate<F: IngressFilter>(
+    mut filter: F,
+    kind: FloodKind,
+    flood_pps: u64,
+    secs: u64,
+    seed: u64,
+) -> FilterOutcome {
+    let mut flood = InitialStream::new(seed);
+    let mut legit = InitialStream::new(seed ^ 0x1e91);
+    let mut flood_total = 0u64;
+    let mut flood_ok = 0u64;
+    let mut legit_total = 0u64;
+    let mut legit_ok = 0u64;
+
+    let bot_pool: Vec<Ipv4Addr> = (0..50).map(|i| Ipv4Addr::new(10, 66, 0, i)).collect();
+    let legit_sources: Vec<Ipv4Addr> = (0..20).map(|i| Ipv4Addr::new(198, 51, 100, i)).collect();
+
+    for sec in 0..secs {
+        for i in 0..flood_pps {
+            let p = flood.next().expect("infinite");
+            let src = match kind {
+                FloodKind::Spoofed => p.src_ip,
+                FloodKind::Botnet => bot_pool[(flood_total % 50) as usize],
+            };
+            let ts =
+                Timestamp::from_secs(sec) + Duration::from_micros(i * 1_000_000 / flood_pps.max(1));
+            flood_total += 1;
+            if filter.admit(ts, src, &p.datagram) {
+                flood_ok += 1;
+            }
+        }
+        // Legitimate clients: one connection attempt per 10 s each,
+        // staggered across the population.
+        for (i, src) in legit_sources.iter().enumerate() {
+            if sec % 10 != (i as u64) % 10 {
+                continue;
+            }
+            let p = legit.next().expect("infinite");
+            let ts = Timestamp::from_secs(sec) + Duration::from_millis(100 + i as u64 * 17);
+            legit_total += 1;
+            if filter.admit(ts, *src, &p.datagram) {
+                legit_ok += 1;
+            }
+        }
+    }
+    FilterOutcome {
+        label: filter.label(),
+        flood: kind,
+        flood_admitted: flood_ok as f64 / flood_total.max(1) as f64,
+        legit_admitted: legit_ok as f64 / legit_total.max(1) as f64,
+        state_entries: filter.state_entries(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "mitigation",
+        "Flood filtering: transport-feature vs QUIC-specific strategies (§5.2 insight)",
+    )
+    .with_columns([
+        "strategy",
+        "flood",
+        "flood admitted",
+        "legit admitted",
+        "state entries",
+    ]);
+
+    let flood_pps = 2_000u64;
+    let secs = 30u64;
+    let mut outcomes = Vec::new();
+    for kind in [FloodKind::Botnet, FloodKind::Spoofed] {
+        outcomes.push(evaluate(
+            PortRateLimiter::new(100.0, 200.0),
+            kind,
+            flood_pps,
+            secs,
+            7,
+        ));
+        outcomes.push(evaluate(
+            ConnectionIdLimiter::new(5, Duration::from_secs(10)),
+            kind,
+            flood_pps,
+            secs,
+            7,
+        ));
+    }
+    for o in &outcomes {
+        report.push_row([
+            o.label.to_string(),
+            o.flood.label().to_string(),
+            fmt_percent(o.flood_admitted),
+            fmt_percent(o.legit_admitted),
+            o.state_entries.to_string(),
+        ]);
+    }
+
+    let find = |label: &str, kind: FloodKind| {
+        outcomes
+            .iter()
+            .find(|o| o.label == label && o.flood == kind)
+            .expect("outcome present")
+    };
+    let port_spoofed = find("port rate limit", FloodKind::Spoofed);
+    let cid_spoofed = find("connection-id limit", FloodKind::Spoofed);
+    let cid_botnet = find("connection-id limit", FloodKind::Botnet);
+
+    report.push_finding(
+        "port filter vs spoofed flood",
+        "works (feature-agnostic)",
+        &format!(
+            "{} admitted, {} state entries",
+            fmt_percent(port_spoofed.flood_admitted),
+            port_spoofed.state_entries
+        ),
+    );
+    report.push_finding(
+        "QUIC-aware filter vs spoofed flood",
+        "defeated (every packet is a new source)",
+        &format!(
+            "{} admitted, {} state entries",
+            fmt_percent(cid_spoofed.flood_admitted),
+            cid_spoofed.state_entries
+        ),
+    );
+    report.push_finding(
+        "QUIC-aware filter vs botnet flood",
+        "surgical (legit unharmed)",
+        &format!(
+            "{} flood admitted, {} legit admitted",
+            fmt_percent(cid_botnet.flood_admitted),
+            fmt_percent(cid_botnet.legit_admitted)
+        ),
+    );
+    report.push_finding(
+        "recommended deployment (paper §5.2)",
+        "filter on ports, not SCIDs",
+        "confirmed: spoofing nullifies per-flow QUIC state",
+    );
+    report.push_note("extension experiment quantifying the §5.2 deployability observation");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_filter_blunts_both_flood_kinds() {
+        for kind in [FloodKind::Botnet, FloodKind::Spoofed] {
+            let o = evaluate(PortRateLimiter::new(100.0, 200.0), kind, 2_000, 10, 3);
+            assert!(o.flood_admitted < 0.1, "{:?}: {}", kind, o.flood_admitted);
+            assert_eq!(o.state_entries, 1);
+        }
+    }
+
+    #[test]
+    fn cid_filter_is_surgical_against_botnets() {
+        let o = evaluate(
+            ConnectionIdLimiter::new(5, Duration::from_secs(10)),
+            FloodKind::Botnet,
+            2_000,
+            10,
+            3,
+        );
+        assert!(o.flood_admitted < 0.02, "flood {}", o.flood_admitted);
+        assert!(o.legit_admitted > 0.95, "legit {}", o.legit_admitted);
+    }
+
+    #[test]
+    fn cid_filter_defeated_by_spoofing() {
+        let o = evaluate(
+            ConnectionIdLimiter::new(5, Duration::from_secs(10)),
+            FloodKind::Spoofed,
+            2_000,
+            10,
+            3,
+        );
+        assert!(o.flood_admitted > 0.9, "flood {}", o.flood_admitted);
+        assert!(
+            o.state_entries > 10_000,
+            "state explosion expected, got {}",
+            o.state_entries
+        );
+    }
+
+    #[test]
+    fn report_narrative_holds() {
+        let report = run();
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(
+            report.findings[3].measured,
+            "confirmed: spoofing nullifies per-flow QUIC state"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! One runner per paper artifact.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`fig02`] | Fig. 2 — research scanner bias |
+//! | [`fig03`] | Fig. 3 — requests vs responses, diurnal pattern |
+//! | [`fig04`] | Fig. 4 — session-timeout sweep |
+//! | [`fig05`] | Fig. 5 — source network types |
+//! | [`fig06`] | Fig. 6 — attacks per victim CDF |
+//! | [`fig07`] | Fig. 7 — flood durations & intensities |
+//! | [`fig08`] | Fig. 8 — multi-vector shares |
+//! | [`fig09`] | Fig. 9 — per-provider attack properties |
+//! | [`tab01`] | Table 1 — server DoS resiliency |
+//! | [`fig10`] | Fig. 10 — threshold-weight sweep |
+//! | [`fig11`] | Fig. 11 — single-victim timeline |
+//! | [`fig12`] | Fig. 12 — concurrent overlap CDF |
+//! | [`fig13`] | Fig. 13 — sequential gap CDF |
+//! | [`msgmix`] | §6 — backscatter message mix & RETRY absence |
+//! | [`sec3_amplification`] | §3 — amplification factors (QUIC vs NTP/DNS) |
+//! | [`adaptive_retry`] | §6 proposal — adaptive RETRY deployment |
+//! | [`mitigation`] | §5.2 insight — port vs QUIC-specific filtering |
+//! | [`figures`] | SVG builders for every plot |
+
+pub mod adaptive_retry;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod figures;
+pub mod mitigation;
+pub mod msgmix;
+pub mod sec3_amplification;
+pub mod tab01;

@@ -1,0 +1,138 @@
+//! §3 — why QUIC reflective amplification is unlikely.
+//!
+//! The paper argues QUIC is a poor reflector: servers may send at most
+//! 3× the bytes of an unverified client's request (RFC 9000 §8.1), the
+//! client must pad its Initial to ≥1200 bytes (§14.1), and protocols
+//! with far higher factors exist (NTP ~500×, DNS ~60×, Rossow 2014).
+//! This experiment *measures* the amplification factor of our actual
+//! server implementation from wire bytes, rather than asserting it.
+
+use crate::report::{fmt_f64, Report};
+use quicsand_net::Timestamp;
+use quicsand_server::model::{QuicServerSim, ServerConfig};
+use quicsand_server::replay::InitialStream;
+use std::net::Ipv4Addr;
+
+/// Reference amplification factors from Rossow, "Amplification Hell"
+/// (NDSS 2014), as cited by the paper.
+pub const NTP_FACTOR: f64 = 500.0;
+/// DNS amplification factor from the same source.
+pub const DNS_FACTOR: f64 = 60.0;
+
+/// Measures the byte amplification of one server flight.
+fn measure_amplification(seed: u64, samples: usize) -> (f64, f64) {
+    let mut server = QuicServerSim::new(
+        ServerConfig {
+            workers: 16,
+            ..ServerConfig::default()
+        },
+        seed,
+    );
+    let mut total_in = 0usize;
+    let mut total_out = 0usize;
+    let mut max_factor = 0.0f64;
+    for (i, probe) in InitialStream::new(seed).take(samples).enumerate() {
+        let responses = server.handle_datagram(
+            Timestamp::from_secs(1 + i as u64),
+            probe.src_ip,
+            probe.src_port,
+            &probe.datagram,
+        );
+        let out: usize = responses.iter().map(|r| r.payload.len()).sum();
+        total_in += probe.datagram.len();
+        total_out += out;
+        max_factor = max_factor.max(out as f64 / probe.datagram.len() as f64);
+    }
+    (total_out as f64 / total_in as f64, max_factor)
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "sec3_amplification",
+        "Reflective amplification factors: QUIC vs classic UDP amplifiers (§3)",
+    )
+    .with_columns(["reflector", "amplification factor", "notes"]);
+
+    let (mean_factor, max_factor) = measure_amplification(0xA17, 400);
+    report.push_row([
+        "QUIC Initial (server flight / padded probe)".to_string(),
+        format!("{}x", fmt_f64(mean_factor)),
+        "measured from wire bytes".to_string(),
+    ]);
+    report.push_row([
+        "QUIC worst observed".to_string(),
+        format!("{}x", fmt_f64(max_factor)),
+        "hard-capped at 3x by RFC 9000 §8.1".to_string(),
+    ]);
+    report.push_row([
+        "DNS (open resolver, ANY)".to_string(),
+        format!("{DNS_FACTOR}x"),
+        "Rossow 2014, cited in §3".to_string(),
+    ]);
+    report.push_row([
+        "NTP (monlist)".to_string(),
+        format!("{NTP_FACTOR}x"),
+        "Rossow 2014, cited in §3".to_string(),
+    ]);
+
+    report.push_finding(
+        "QUIC amplification bound",
+        "3x (RFC 9000)",
+        &format!("{}x measured max", fmt_f64(max_factor)),
+    );
+    report.push_finding(
+        "NTP advantage over QUIC",
+        "~167x more attractive",
+        &format!("{}x", fmt_f64(NTP_FACTOR / max_factor.max(1e-9))),
+    );
+
+    // The §14.1 guard: unpadded probes are discarded outright.
+    let mut server = QuicServerSim::new(ServerConfig::default(), 0xA18);
+    let bare = quicsand_server::replay::record_corpus(1, 0xA19)
+        .pop()
+        .expect("one probe");
+    // Truncating below 1200 simulates an unpadded probe; the parse
+    // fails or the padding check rejects it — either way, no bytes out.
+    let out = server.handle_datagram(
+        Timestamp::from_secs(1),
+        Ipv4Addr::new(10, 0, 0, 1),
+        5000,
+        &bare.datagram[..600],
+    );
+    report.push_finding(
+        "response to sub-1200-byte probes",
+        "none (padding enforced)",
+        &format!(
+            "{} bytes",
+            out.iter().map(|r| r.payload.len()).sum::<usize>()
+        ),
+    );
+    report.push_note(
+        "attackers reuse existing NTP/DNS infrastructure with 20-170x better \
+         yield, which is why the paper (and this reproduction) focuses on \
+         state-exhaustion floods instead",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quic_amplification_is_bounded_and_unattractive() {
+        let report = run();
+        let measured_max: f64 = report.findings[0]
+            .measured
+            .split('x')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(measured_max <= 3.0, "3x cap violated: {measured_max}");
+        assert!(measured_max > 0.5, "flight should not be trivial");
+        // Unpadded probes elicit nothing.
+        assert_eq!(report.findings[2].measured, "0 bytes");
+    }
+}

@@ -1,0 +1,415 @@
+//! Minimal dependency-free SVG plotting.
+//!
+//! Renders the line/step/bar charts behind the paper's figures without
+//! pulling a plotting stack into the dependency tree. The output is
+//! plain SVG 1.1: axes, ticks, optional log scales, legends, and one of
+//! three mark types per plot.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (x, y).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Mark type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlotKind {
+    /// Connected line (time series).
+    Line,
+    /// Staircase (CDFs).
+    Step,
+    /// Vertical bars, one group per x (categorical shares).
+    Bar,
+}
+
+/// A complete plot description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlotSpec {
+    /// Title rendered above the axes.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Mark type.
+    pub kind: PlotKind,
+    /// The series (non-empty for a meaningful plot).
+    pub series: Vec<Series>,
+    /// Log-scale the x axis (requires positive x).
+    pub log_x: bool,
+    /// Categorical x tick labels for bar plots (one per x position).
+    pub x_categories: Vec<String>,
+}
+
+impl PlotSpec {
+    /// Creates a line plot.
+    pub fn line(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self::new(title, x_label, y_label, PlotKind::Line)
+    }
+
+    /// Creates a CDF step plot.
+    pub fn step(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self::new(title, x_label, y_label, PlotKind::Step)
+    }
+
+    /// Creates a bar plot.
+    pub fn bar(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self::new(title, x_label, y_label, PlotKind::Bar)
+    }
+
+    fn new(title: &str, x_label: &str, y_label: &str, kind: PlotKind) -> Self {
+        PlotSpec {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            kind,
+            series: Vec::new(),
+            log_x: false,
+            x_categories: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn with_series(mut self, label: &str, points: Vec<(f64, f64)>) -> Self {
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+        self
+    }
+
+    /// Enables a log-scaled x axis.
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Sets categorical x labels (bar plots).
+    pub fn with_categories<I: IntoIterator<Item = S>, S: Into<String>>(mut self, cats: I) -> Self {
+        self.x_categories = cats.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 55.0;
+
+/// A small colour-blind-safe palette.
+const PALETTE: [&str; 6] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9",
+];
+
+/// Renders the plot to an SVG document.
+///
+/// Plots with no finite data still render (axes + title), so harness
+/// code never has to special-case empty analyses.
+pub fn render_svg(spec: &PlotSpec) -> String {
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+
+    let xform = |x: f64| {
+        if spec.log_x {
+            x.max(f64::MIN_POSITIVE).log10()
+        } else {
+            x
+        }
+    };
+    let finite_points: Vec<(f64, f64)> = spec
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .map(|&(x, y)| (xform(x), y))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+
+    let (mut x_min, mut x_max) = bounds(finite_points.iter().map(|p| p.0));
+    let (y_min_raw, mut y_max) = bounds(finite_points.iter().map(|p| p.1));
+    let mut y_min = y_min_raw.min(0.0);
+    if x_min == x_max {
+        x_min -= 0.5;
+        x_max += 0.5;
+    }
+    if y_min == y_max {
+        y_max = y_min + 1.0;
+    }
+    if spec.kind == PlotKind::Bar {
+        y_min = 0.0;
+        x_min -= 0.5;
+        x_max += 0.5;
+    }
+
+    let sx = move |x: f64| MARGIN_LEFT + (xform(x) - x_min) / (x_max - x_min) * plot_w;
+    let sy = move |y: f64| MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+    let mut svg = String::with_capacity(8_192);
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+        WIDTH / 2.0,
+        escape(&spec.title)
+    );
+
+    // Axes.
+    let x0 = MARGIN_LEFT;
+    let y0 = MARGIN_TOP + plot_h;
+    let _ = write!(
+        svg,
+        r#"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"#,
+        MARGIN_LEFT + plot_w
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{x0}" y1="{}" x2="{x0}" y2="{y0}" stroke="black"/>"#,
+        MARGIN_TOP
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        HEIGHT - 12.0,
+        escape(&spec.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        escape(&spec.y_label)
+    );
+
+    // Ticks.
+    if spec.kind == PlotKind::Bar && !spec.x_categories.is_empty() {
+        for (i, cat) in spec.x_categories.iter().enumerate() {
+            let x = sx(i as f64);
+            let _ = write!(
+                svg,
+                r#"<text x="{x}" y="{}" text-anchor="middle">{}</text>"#,
+                y0 + 18.0,
+                escape(cat)
+            );
+        }
+    } else {
+        for i in 0..=5 {
+            let fx = x_min + (x_max - x_min) * f64::from(i) / 5.0;
+            let label = if spec.log_x {
+                format_tick(10f64.powf(fx))
+            } else {
+                format_tick(fx)
+            };
+            let x = MARGIN_LEFT + plot_w * f64::from(i) / 5.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{x}" y1="{y0}" x2="{x}" y2="{}" stroke="black"/><text x="{x}" y="{}" text-anchor="middle">{label}</text>"#,
+                y0 + 4.0,
+                y0 + 18.0
+            );
+        }
+    }
+    for i in 0..=5 {
+        let fy = y_min + (y_max - y_min) * f64::from(i) / 5.0;
+        let y = MARGIN_TOP + plot_h - plot_h * f64::from(i) / 5.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{}</text>"#,
+            x0 - 4.0,
+            x0 - 8.0,
+            y + 4.0,
+            format_tick(fy)
+        );
+    }
+
+    // Marks.
+    for (si, series) in spec.series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        match spec.kind {
+            PlotKind::Line | PlotKind::Step => {
+                let mut d = String::new();
+                let mut last_y: Option<f64> = None;
+                for (i, &(x, y)) in series.points.iter().enumerate() {
+                    if !xform(x).is_finite() || !y.is_finite() {
+                        continue;
+                    }
+                    let (px, py) = (sx(x), sy(y));
+                    if i == 0 || last_y.is_none() {
+                        let _ = write!(d, "M{px:.1},{py:.1}");
+                    } else if spec.kind == PlotKind::Step {
+                        let _ = write!(d, "H{px:.1}V{py:.1}");
+                    } else {
+                        let _ = write!(d, "L{px:.1},{py:.1}");
+                    }
+                    last_y = Some(py);
+                }
+                let _ = write!(
+                    svg,
+                    r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+                );
+            }
+            PlotKind::Bar => {
+                let groups = spec.series.len() as f64;
+                let slot = plot_w / ((x_max - x_min).max(1.0)).max(1.0);
+                let bar_w = (slot * 0.8 / groups).max(2.0);
+                for &(x, y) in &series.points {
+                    let cx = sx(x) - slot * 0.4 + bar_w * si as f64;
+                    let top = sy(y);
+                    let _ = write!(
+                        svg,
+                        r#"<rect x="{cx:.1}" y="{top:.1}" width="{bar_w:.1}" height="{:.1}" fill="{color}"/>"#,
+                        (y0 - top).max(0.0)
+                    );
+                }
+            }
+        }
+    }
+
+    // Legend.
+    if spec.series.len() > 1 || spec.series.first().is_some_and(|s| !s.label.is_empty()) {
+        for (si, series) in spec.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let ly = MARGIN_TOP + 14.0 * si as f64;
+            let _ = write!(
+                svg,
+                r#"<rect x="{}" y="{}" width="10" height="10" fill="{color}"/><text x="{}" y="{}">{}</text>"#,
+                MARGIN_LEFT + plot_w - 130.0,
+                ly,
+                MARGIN_LEFT + plot_w - 115.0,
+                ly + 9.0,
+                escape(&series.label)
+            );
+        }
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+fn bounds<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn format_tick(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1_000_000.0 {
+        format!("{:.1}M", value / 1_000_000.0)
+    } else if value.abs() >= 10_000.0 {
+        format!("{:.0}k", value / 1_000.0)
+    } else if value.abs() >= 10.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 0.01 {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.0e}")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PlotSpec {
+        PlotSpec::line("Test <plot>", "time [s]", "count")
+            .with_series("a", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
+            .with_series("b", vec![(0.0, 0.5), (2.0, 4.0)])
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_svg(&spec());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2, "one path per series");
+        assert!(svg.contains("Test &lt;plot&gt;"), "title escaped");
+        assert!(svg.contains("time [s]"));
+    }
+
+    #[test]
+    fn step_plot_uses_staircase_commands() {
+        let svg = render_svg(
+            &PlotSpec::step("cdf", "x", "F(x)")
+                .with_series("", vec![(1.0, 0.25), (2.0, 0.5), (4.0, 1.0)]),
+        );
+        assert!(svg.contains('H'), "step paths use horizontal segments");
+        assert!(svg.contains('V'));
+    }
+
+    #[test]
+    fn bar_plot_renders_rects_per_point() {
+        let svg = render_svg(
+            &PlotSpec::bar("shares", "class", "share")
+                .with_categories(["a", "b", "c"])
+                .with_series("x", vec![(0.0, 0.5), (1.0, 0.4), (2.0, 0.1)]),
+        );
+        // 3 bars + the background rect.
+        assert_eq!(svg.matches("<rect").count(), 3 + 1 + 1 /* legend */);
+        assert!(svg.contains(">a</text>"));
+    }
+
+    #[test]
+    fn empty_plot_still_renders() {
+        let svg = render_svg(&PlotSpec::line("empty", "x", "y"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("empty"));
+    }
+
+    #[test]
+    fn log_x_transforms_ticks() {
+        let svg = render_svg(
+            &PlotSpec::step("cdf", "gap", "F")
+                .with_log_x()
+                .with_series("", vec![(1.0, 0.1), (10.0, 0.5), (1000.0, 1.0)]),
+        );
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped_not_propagated() {
+        let svg = render_svg(
+            &PlotSpec::line("nan", "x", "y")
+                .with_series("s", vec![(0.0, 1.0), (f64::NAN, 2.0), (2.0, 3.0)]),
+        );
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(1_500_000.0), "1.5M");
+        assert_eq!(format_tick(25_000.0), "25k");
+        assert_eq!(format_tick(42.4), "42");
+        assert_eq!(format_tick(0.25), "0.25");
+    }
+}

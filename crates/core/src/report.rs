@@ -1,0 +1,238 @@
+//! Uniform experiment reports: tabular data plus paper-vs-measured
+//! findings, rendered as text or JSON.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What is compared (e.g. "median QUIC flood duration").
+    pub metric: String,
+    /// The paper's value, as printed in the paper.
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+}
+
+/// A regenerated table/figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Artifact id (e.g. "fig07", "tab01").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers of the data table.
+    pub columns: Vec<String>,
+    /// Data rows (stringified — these are print artifacts).
+    pub rows: Vec<Vec<String>>,
+    /// Paper-vs-measured findings.
+    pub findings: Vec<Finding>,
+    /// Free-form notes (sub-sampling factors, deviations).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            findings: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn with_columns<I: IntoIterator<Item = S>, S: Into<String>>(mut self, cols: I) -> Self {
+        self.columns = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row; panics if the width disagrees with the
+    /// headers (a bug in the experiment, not in the data).
+    pub fn push_row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a finding.
+    pub fn push_finding(&mut self, metric: &str, paper: &str, measured: &str) {
+        self.findings.push(Finding {
+            metric: metric.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+        });
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: &str) {
+        self.notes.push(note.to_string());
+    }
+
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        if !self.columns.is_empty() {
+            let widths: Vec<usize> = self
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    self.rows
+                        .iter()
+                        .map(|r| r[i].len())
+                        .chain(std::iter::once(c.len()))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .collect();
+            let render_row = |cells: &[String], widths: &[usize]| {
+                cells
+                    .iter()
+                    .zip(widths)
+                    .map(|(c, w)| format!("{c:>w$}", w = w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            };
+            let _ = writeln!(out, "{}", render_row(&self.columns, &widths));
+            let _ = writeln!(
+                out,
+                "{}",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+            for row in &self.rows {
+                let _ = writeln!(out, "{}", render_row(row, &widths));
+            }
+        }
+        if !self.findings.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n  {:<44} {:>18} {:>18}",
+                "metric", "paper", "measured"
+            );
+            for f in &self.findings {
+                let _ = writeln!(out, "  {:<44} {:>18} {:>18}", f.metric, f.paper, f.measured);
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Serializes the report to JSON.
+    ///
+    /// # Errors
+    /// Never in practice; propagates serde errors.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Renders the findings as Markdown table rows (for
+    /// EXPERIMENTS.md).
+    pub fn findings_markdown(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                self.id, f.metric, f.paper, f.measured
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for reports.
+pub fn fmt_f64(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 100.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 1.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+/// Formats a share as a percentage.
+pub fn fmt_percent(share: f64) -> String {
+    format!("{:.1}%", share * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("fig99", "Sample").with_columns(["x", "count"]);
+        r.push_row(["1", "100"]);
+        r.push_row(["2", "50"]);
+        r.push_finding("median", "255 s", "261 s");
+        r.push_note("sub-sampled by 84x");
+        r
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = sample().render();
+        assert!(text.contains("fig99"));
+        assert!(text.contains("count"));
+        assert!(text.contains("100"));
+        assert!(text.contains("median"));
+        assert!(text.contains("255 s"));
+        assert!(text.contains("sub-sampled"));
+    }
+
+    #[test]
+    fn columns_are_aligned() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header and separator have the same width.
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut r = Report::new("x", "y").with_columns(["a", "b"]);
+        r.push_row(["only one"]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let json = r.to_json().unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn markdown_findings() {
+        let md = sample().findings_markdown();
+        assert!(md.contains("| fig99 | median | 255 s | 261 s |"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.123456), "0.123");
+        assert_eq!(fmt_f64(42.25), "42.2");
+        assert_eq!(fmt_f64(1234.7), "1235");
+        assert_eq!(fmt_percent(0.515), "51.5%");
+    }
+}

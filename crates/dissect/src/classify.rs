@@ -1,0 +1,142 @@
+//! Port-based traffic classification (paper §4.1).
+//!
+//! "We identify QUIC traffic based on transport layer properties by
+//! selecting all UDP packets with a source or destination port UDP/443.
+//! [...] we mark all QUIC packets with source port UDP/443 as responses
+//! (i.e., backscatter) and all packets with destination port UDP/443 as
+//! requests (i.e., scans). These two sets are disjoint, as we do not
+//! find any packet with destination and source port set to UDP/443."
+//!
+//! The payload dissector ([`crate::quic`]) is then applied to exclude
+//! false positives, mirroring the paper's use of Wireshark dissectors on
+//! top of the port filter.
+
+use quicsand_net::{PacketRecord, Transport};
+use quicsand_wire::QUIC_PORT;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a QUIC candidate packet relative to port 443.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Destination port 443: a request (scan or flood probe).
+    Request,
+    /// Source port 443: a response (backscatter).
+    Response,
+}
+
+impl Direction {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Request => "request",
+            Direction::Response => "response",
+        }
+    }
+}
+
+/// Outcome of the transport-layer classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Classification {
+    /// UDP/443 traffic: a QUIC candidate with a direction.
+    QuicCandidate(Direction),
+    /// UDP, but neither port is 443.
+    OtherUdp,
+    /// TCP traffic (the paper's "common protocols" baseline).
+    Tcp,
+    /// ICMP traffic (baseline).
+    Icmp,
+    /// A UDP packet with *both* ports 443. The paper observes none; we
+    /// classify it explicitly so the invariant is testable.
+    AmbiguousBothPorts,
+}
+
+/// Classifies one captured record.
+pub fn classify_record(record: &PacketRecord) -> Classification {
+    match &record.transport {
+        Transport::Udp {
+            src_port, dst_port, ..
+        } => match (*src_port == QUIC_PORT, *dst_port == QUIC_PORT) {
+            (true, true) => Classification::AmbiguousBothPorts,
+            (true, false) => Classification::QuicCandidate(Direction::Response),
+            (false, true) => Classification::QuicCandidate(Direction::Request),
+            (false, false) => Classification::OtherUdp,
+        },
+        Transport::Tcp { .. } => Classification::Tcp,
+        Transport::Icmp { .. } => Classification::Icmp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use quicsand_net::{IcmpKind, TcpFlags, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn udp(src_port: u16, dst_port: u16) -> PacketRecord {
+        PacketRecord::udp(
+            Timestamp::EPOCH,
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(128, 0, 0, 1),
+            src_port,
+            dst_port,
+            Bytes::new(),
+        )
+    }
+
+    #[test]
+    fn dst_443_is_request() {
+        assert_eq!(
+            classify_record(&udp(50000, 443)),
+            Classification::QuicCandidate(Direction::Request)
+        );
+    }
+
+    #[test]
+    fn src_443_is_response() {
+        assert_eq!(
+            classify_record(&udp(443, 50000)),
+            Classification::QuicCandidate(Direction::Response)
+        );
+    }
+
+    #[test]
+    fn both_443_is_ambiguous() {
+        assert_eq!(
+            classify_record(&udp(443, 443)),
+            Classification::AmbiguousBothPorts
+        );
+    }
+
+    #[test]
+    fn other_udp() {
+        assert_eq!(classify_record(&udp(53, 53)), Classification::OtherUdp);
+        assert_eq!(classify_record(&udp(123, 5000)), Classification::OtherUdp);
+    }
+
+    #[test]
+    fn tcp_and_icmp() {
+        let tcp = PacketRecord::tcp(
+            Timestamp::EPOCH,
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            443,
+            80,
+            TcpFlags::SYN_ACK,
+        );
+        assert_eq!(classify_record(&tcp), Classification::Tcp);
+        let icmp = PacketRecord::icmp(
+            Timestamp::EPOCH,
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            IcmpKind::EchoReply,
+        );
+        assert_eq!(classify_record(&icmp), Classification::Icmp);
+    }
+
+    #[test]
+    fn direction_labels() {
+        assert_eq!(Direction::Request.label(), "request");
+        assert_eq!(Direction::Response.label(), "response");
+    }
+}

@@ -1,0 +1,403 @@
+//! The QUIC payload dissector (Wireshark stand-in).
+//!
+//! Structurally parses a UDP payload as one or more coalesced QUIC
+//! packets and extracts the metadata the paper's analyses need:
+//! versions, connection IDs, message types — and whether an Initial
+//! carries an *unencrypted* TLS Client Hello.
+//!
+//! The Client Hello check works exactly as it does for Wireshark on the
+//! real wire: Initial keys are derivable by any passive observer from
+//! the packet's destination connection ID, **but only for
+//! client-originated Initials** — a server's Initial reply is protected
+//! under keys derived from the *client's original* DCID, which appears
+//! nowhere in the reply. So the dissector attempts the derivation; if
+//! decryption fails, the Initial is opaque ("does not contain an
+//! (unencrypted) TLS Client Hello") and is attributed to an encrypted
+//! Server Hello reply — the §6 backscatter signature.
+
+use quicsand_wire::crypto::InitialSecrets;
+use quicsand_wire::packet::{parse_datagram, ParsedHeader};
+use quicsand_wire::tls::{peek_handshake_type, HandshakeType};
+use quicsand_wire::{ConnectionId, Frame, Version, WireError};
+use serde::{Deserialize, Serialize};
+
+/// The QUIC message types the analyses distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Initial packet.
+    Initial,
+    /// 0-RTT packet.
+    ZeroRtt,
+    /// Handshake packet.
+    Handshake,
+    /// Retry packet (the unused defence, §6).
+    Retry,
+    /// Version Negotiation packet.
+    VersionNegotiation,
+    /// 1-RTT short-header packet.
+    OneRtt,
+}
+
+impl MessageKind {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageKind::Initial => "Initial",
+            MessageKind::ZeroRtt => "0-RTT",
+            MessageKind::Handshake => "Handshake",
+            MessageKind::Retry => "Retry",
+            MessageKind::VersionNegotiation => "VersionNegotiation",
+            MessageKind::OneRtt => "1-RTT",
+        }
+    }
+}
+
+/// Metadata of one QUIC message (packet) inside a datagram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageMeta {
+    /// Message type.
+    pub kind: MessageKind,
+    /// Version, when the header carries one.
+    pub version: Option<u32>,
+    /// Source connection ID (absent in short headers).
+    pub scid: Option<ConnectionId>,
+    /// Destination connection ID.
+    pub dcid: ConnectionId,
+    /// Whether the (Initial) payload decrypted to a TLS Client Hello
+    /// under passively derivable keys.
+    pub has_client_hello: bool,
+    /// Wire length of the message.
+    pub wire_len: usize,
+}
+
+/// A dissected UDP payload: the coalesced messages it carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DissectedPacket {
+    /// The messages, in wire order.
+    pub messages: Vec<MessageMeta>,
+}
+
+impl DissectedPacket {
+    /// Whether any message is a Retry (the paper captured none).
+    pub fn has_retry(&self) -> bool {
+        self.messages.iter().any(|m| m.kind == MessageKind::Retry)
+    }
+
+    /// The first version announced by any long header.
+    pub fn version(&self) -> Option<u32> {
+        self.messages.iter().find_map(|m| m.version)
+    }
+
+    /// All source connection IDs in the datagram.
+    pub fn scids(&self) -> impl Iterator<Item = &ConnectionId> {
+        self.messages.iter().filter_map(|m| m.scid.as_ref())
+    }
+
+    /// Whether every long-header DCID has length zero — the validity
+    /// check the paper applies to backscatter (§5.2: "we carefully
+    /// checked that the packets are valid [...] by verifying that the
+    /// DCID length attribute is set to zero"). Short headers carry no
+    /// DCID-length attribute and are skipped.
+    pub fn all_dcids_empty(&self) -> bool {
+        self.messages
+            .iter()
+            .filter(|m| m.version.is_some())
+            .all(|m| m.dcid.is_empty())
+    }
+}
+
+/// Dissects a UDP payload as QUIC.
+///
+/// # Errors
+/// [`WireError`] when the payload is not structurally valid QUIC — the
+/// caller (telescope pipeline) counts these as non-QUIC false positives
+/// of the port filter.
+pub fn dissect_udp_payload(payload: &[u8]) -> Result<DissectedPacket, WireError> {
+    if payload.is_empty() {
+        return Err(WireError::UnexpectedEnd { what: "datagram" });
+    }
+    let parsed = parse_datagram(payload, 8)?;
+    if parsed.is_empty() {
+        return Err(WireError::UnexpectedEnd { what: "datagram" });
+    }
+    let mut messages = Vec::with_capacity(parsed.len());
+    for (packet, aad) in &parsed {
+        let meta = match &packet.header {
+            ParsedHeader::Long {
+                ty,
+                version,
+                dcid,
+                scid,
+                ..
+            } => {
+                let kind = match ty {
+                    quicsand_wire::header::LongPacketType::Initial => MessageKind::Initial,
+                    quicsand_wire::header::LongPacketType::ZeroRtt => MessageKind::ZeroRtt,
+                    quicsand_wire::header::LongPacketType::Handshake => MessageKind::Handshake,
+                    quicsand_wire::header::LongPacketType::Retry => MessageKind::Retry,
+                };
+                let has_client_hello = kind == MessageKind::Initial
+                    && initial_carries_client_hello(packet, aad, *version, dcid);
+                MessageMeta {
+                    kind,
+                    version: Some(version.to_wire()),
+                    scid: Some(*scid),
+                    dcid: *dcid,
+                    has_client_hello,
+                    wire_len: packet.wire_len,
+                }
+            }
+            ParsedHeader::Retry {
+                version,
+                dcid,
+                scid,
+                ..
+            } => MessageMeta {
+                kind: MessageKind::Retry,
+                version: Some(version.to_wire()),
+                scid: Some(*scid),
+                dcid: *dcid,
+                has_client_hello: false,
+                wire_len: packet.wire_len,
+            },
+            ParsedHeader::VersionNegotiation { dcid, scid, .. } => MessageMeta {
+                kind: MessageKind::VersionNegotiation,
+                version: Some(0),
+                scid: Some(*scid),
+                dcid: *dcid,
+                has_client_hello: false,
+                wire_len: packet.wire_len,
+            },
+            ParsedHeader::Short { dcid, .. } => MessageMeta {
+                kind: MessageKind::OneRtt,
+                version: None,
+                scid: None,
+                dcid: *dcid,
+                has_client_hello: false,
+                wire_len: packet.wire_len,
+            },
+        };
+        messages.push(meta);
+    }
+    Ok(DissectedPacket { messages })
+}
+
+/// Attempts the passive Initial decryption and Client Hello detection.
+fn initial_carries_client_hello(
+    packet: &quicsand_wire::packet::ParsedPacket,
+    aad: &[u8],
+    version: Version,
+    dcid: &ConnectionId,
+) -> bool {
+    // A passive observer derives the *client* Initial key from the DCID
+    // in the packet itself. For client-sent Initials this succeeds; for
+    // server replies it cannot (the server seals under keys derived from
+    // the client's original DCID, not from the DCID of the reply).
+    let keys = InitialSecrets::derive(version, dcid);
+    let Ok((_, frames)) = packet.open(keys.client, None, aad) else {
+        return false;
+    };
+    frames.iter().any(|f| {
+        if let Frame::Crypto { data, .. } = f {
+            peek_handshake_type(data) == Ok(HandshakeType::ClientHello)
+        } else {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use quicsand_wire::crypto::Direction as CryptoDir;
+    use quicsand_wire::packet::{Packet, PacketPayload};
+    use quicsand_wire::tls::{cipher_suite, ClientHello, ServerHello};
+
+    fn client_hello_bytes() -> Bytes {
+        Bytes::from(
+            ClientHello {
+                random: [1u8; 32],
+                cipher_suites: vec![cipher_suite::AES_128_GCM_SHA256],
+                server_name: Some("www.google.com".into()),
+                alpn: vec!["h3-29".into()],
+                key_share: Bytes::from_static(&[2u8; 32]),
+            }
+            .encode(),
+        )
+    }
+
+    /// A faithful client first flight: Initial protected under keys
+    /// derived from its own DCID.
+    fn client_initial() -> Vec<u8> {
+        let dcid = ConnectionId::from_u64(0xdddd);
+        let keys = InitialSecrets::derive(Version::Draft29, &dcid);
+        Packet::Initial {
+            version: Version::Draft29,
+            dcid,
+            scid: ConnectionId::from_u64(0xcccc),
+            token: Bytes::new(),
+            packet_number: 0,
+            payload: PacketPayload::new(vec![Frame::Crypto {
+                offset: 0,
+                data: client_hello_bytes(),
+            }]),
+        }
+        .encode_padded(Some(keys.client), 1200)
+        .unwrap()
+    }
+
+    /// A server reply to a *spoofed* client: Initial (Server Hello) +
+    /// Handshake coalesced, sealed under keys derived from the client's
+    /// original DCID — which the telescope never sees.
+    fn server_backscatter() -> Vec<u8> {
+        let original_dcid = ConnectionId::from_u64(0x5555);
+        let keys = InitialSecrets::derive(Version::Draft29, &original_dcid);
+        let server_scid = ConnectionId::from_u64(0x9999);
+        let initial = Packet::Initial {
+            version: Version::Draft29,
+            // Server replies to the client's (empty) SCID: DCID len 0,
+            // the §5.2 validity signature.
+            dcid: ConnectionId::EMPTY,
+            scid: server_scid,
+            token: Bytes::new(),
+            packet_number: 0,
+            payload: PacketPayload::new(vec![Frame::Crypto {
+                offset: 0,
+                data: Bytes::from(
+                    ServerHello {
+                        random: [7u8; 32],
+                        cipher_suite: cipher_suite::AES_128_GCM_SHA256,
+                        key_share: Bytes::from_static(&[3u8; 32]),
+                    }
+                    .encode(),
+                ),
+            }]),
+        };
+        let handshake = Packet::Handshake {
+            version: Version::Draft29,
+            dcid: ConnectionId::EMPTY,
+            scid: server_scid,
+            packet_number: 0,
+            payload: PacketPayload::new(vec![Frame::Crypto {
+                offset: 0,
+                data: Bytes::from(vec![0x0b; 600]), // opaque cert bytes
+            }]),
+        };
+        let mut datagram = initial
+            .encode(Some(keys.key(CryptoDir::ServerToClient)))
+            .unwrap();
+        datagram.extend(
+            handshake
+                .encode(Some(keys.key(CryptoDir::ServerToClient)))
+                .unwrap(),
+        );
+        datagram
+    }
+
+    #[test]
+    fn client_initial_detected_with_client_hello() {
+        let dissected = dissect_udp_payload(&client_initial()).unwrap();
+        assert_eq!(dissected.messages.len(), 1);
+        let m = &dissected.messages[0];
+        assert_eq!(m.kind, MessageKind::Initial);
+        assert_eq!(m.version, Some(Version::Draft29.to_wire()));
+        assert!(m.has_client_hello, "passively derivable CH must be seen");
+    }
+
+    #[test]
+    fn server_backscatter_is_initial_without_client_hello() {
+        let dissected = dissect_udp_payload(&server_backscatter()).unwrap();
+        assert_eq!(dissected.messages.len(), 2);
+        assert_eq!(dissected.messages[0].kind, MessageKind::Initial);
+        assert!(
+            !dissected.messages[0].has_client_hello,
+            "server initial must be opaque to the telescope"
+        );
+        assert_eq!(dissected.messages[1].kind, MessageKind::Handshake);
+        assert!(dissected.all_dcids_empty(), "§5.2 validity check");
+    }
+
+    #[test]
+    fn scids_are_extracted_for_fig9() {
+        let dissected = dissect_udp_payload(&server_backscatter()).unwrap();
+        let scids: Vec<_> = dissected.scids().collect();
+        assert_eq!(scids.len(), 2);
+        assert!(scids.iter().all(|s| **s == ConnectionId::from_u64(0x9999)));
+    }
+
+    #[test]
+    fn retry_detected() {
+        let wire = Packet::Retry {
+            version: Version::V1,
+            dcid: ConnectionId::from_u64(1),
+            scid: ConnectionId::from_u64(2),
+            token: Bytes::from_static(b"tok"),
+            original_dcid: ConnectionId::from_u64(3),
+        }
+        .encode(None)
+        .unwrap();
+        let dissected = dissect_udp_payload(&wire).unwrap();
+        assert!(dissected.has_retry());
+        assert_eq!(dissected.messages[0].kind, MessageKind::Retry);
+    }
+
+    #[test]
+    fn version_negotiation_detected() {
+        let wire = Packet::VersionNegotiation {
+            dcid: ConnectionId::from_u64(1),
+            scid: ConnectionId::from_u64(2),
+            versions: vec![Version::V1],
+        }
+        .encode(None)
+        .unwrap();
+        let dissected = dissect_udp_payload(&wire).unwrap();
+        assert_eq!(dissected.messages[0].kind, MessageKind::VersionNegotiation);
+        assert_eq!(dissected.version(), Some(0));
+    }
+
+    #[test]
+    fn one_rtt_detected() {
+        let key = quicsand_wire::siphash::SipKey { k0: 1, k1: 2 };
+        let wire = Packet::OneRtt {
+            dcid: ConnectionId::new(&[1; 8]).unwrap(),
+            spin: false,
+            key_phase: false,
+            packet_number: 5,
+            payload: PacketPayload::new(vec![Frame::Ping]),
+        }
+        .encode(Some(key))
+        .unwrap();
+        let dissected = dissect_udp_payload(&wire).unwrap();
+        assert_eq!(dissected.messages[0].kind, MessageKind::OneRtt);
+        assert_eq!(dissected.messages[0].version, None);
+        assert!(dissected.messages[0].scid.is_none());
+    }
+
+    #[test]
+    fn non_quic_payloads_rejected() {
+        // Empty.
+        assert!(dissect_udp_payload(&[]).is_err());
+        // DNS-ish bytes.
+        assert!(dissect_udp_payload(&[0x12, 0x34, 0x01, 0x00, 0x00, 0x01]).is_err());
+        // NTP-ish (first byte 0x23: short form but no fixed bit... 0x23
+        // has 0x40 clear).
+        assert!(dissect_udp_payload(&[0x23; 48]).is_err());
+    }
+
+    #[test]
+    fn truncated_quic_rejected() {
+        let wire = client_initial();
+        assert!(dissect_udp_payload(&wire[..20]).is_err());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(MessageKind::Initial.label(), "Initial");
+        assert_eq!(
+            MessageKind::VersionNegotiation.label(),
+            "VersionNegotiation"
+        );
+        assert_eq!(MessageKind::OneRtt.label(), "1-RTT");
+    }
+}

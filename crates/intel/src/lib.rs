@@ -1,0 +1,33 @@
+//! # quicsand-intel
+//!
+//! Metadata substrates standing in for the paper's three correlation
+//! data sources (§4.2):
+//!
+//! * [`asdb`] — an IP→ASN longest-prefix-match database with PeeringDB-
+//!   style network types (eyeball, content, transit, …) and registrant
+//!   countries. Backs the Fig. 5 network-type analysis and the country
+//!   breakdown of request sessions.
+//! * [`greynoise`] — a honeypot-intelligence lookup: per-source-IP actor
+//!   classification and tags (Mirai, Eternalblue, bruteforcer, research
+//!   scanner), standing in for the GreyNoise platform.
+//! * [`activescan`] — a registry of known QUIC servers with their
+//!   operator and deployed QUIC version, standing in for the Rüth et
+//!   al. active scan data set the paper cross-checks victims against
+//!   (98 % of attacks target known QUIC servers).
+//! * [`topology`] — the synthetic Internet: a deterministic allocator
+//!   that populates the three databases above with a consistent world
+//!   (research universities, eyeball networks per country, content
+//!   providers with QUIC deployments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activescan;
+pub mod asdb;
+pub mod greynoise;
+pub mod topology;
+
+pub use activescan::{Provider, QuicServerRegistry, ServerInfo};
+pub use asdb::{AsDatabase, AsInfo, NetworkType};
+pub use greynoise::{ActorClass, ActorTag, GreyNoise};
+pub use topology::{SyntheticInternet, TopologyConfig};

@@ -1,0 +1,493 @@
+//! The synthetic Internet: a deterministic world generator.
+//!
+//! Builds a consistent AS-level topology that the traffic generator and
+//! the analyses share, standing in for the real Internet of April 2021:
+//!
+//! * two German research scanners (TUM, RWTH) that sweep the full IPv4
+//!   space — the 98.5 % bias of Fig. 2;
+//! * eyeball ASes across the countries the paper observes as scan
+//!   origins (Bangladesh 34 %, USA 27 %, Algeria 8 %, rest elsewhere);
+//! * content providers with QUIC deployments (Google on draft-29,
+//!   Facebook on mvfst-draft-27, plus Cloudflare/Akamai/long tail),
+//!   registered in the active-scan registry;
+//! * transit and enterprise filler ASes so Fig. 5 has a realistic
+//!   category mix.
+//!
+//! Address allocation avoids the telescope /9 — by construction no
+//! "real" host lives inside the darknet, exactly as with the UCSD
+//! telescope.
+
+use crate::activescan::{Provider, QuicServerRegistry, ServerInfo};
+use crate::asdb::{AsDatabase, AsInfo, NetworkType};
+use crate::greynoise::GreyNoise;
+use quicsand_net::rng::{substream, weighted_index};
+use quicsand_net::{ip::telescope_prefix, Ipv4Prefix};
+use quicsand_wire::Version;
+use rand::Rng;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Country mix for eyeball scan sources (paper §5.2: "Most request
+/// sessions originate from Bangladesh (34%), USA (27%), and Algeria
+/// (8%)").
+pub const COUNTRY_WEIGHTS: [(&str, f64); 8] = [
+    ("BD", 0.34),
+    ("US", 0.27),
+    ("DZ", 0.08),
+    ("CN", 0.09),
+    ("IN", 0.08),
+    ("BR", 0.06),
+    ("RU", 0.05),
+    ("VN", 0.03),
+];
+
+/// The paper's per-provider attack shares (Fig. 9: 58 % Google, 25 %
+/// Facebook, >83 % combined; the remainder split across the tail).
+pub const PROVIDER_ATTACK_SHARES: [(Provider, f64); 5] = [
+    (Provider::Google, 0.58),
+    (Provider::Facebook, 0.25),
+    (Provider::Cloudflare, 0.07),
+    (Provider::Akamai, 0.05),
+    (Provider::Other, 0.05),
+];
+
+/// Configuration for [`SyntheticInternet::build`].
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Master seed; every allocation derives from it.
+    pub seed: u64,
+    /// Eyeball ASes per country.
+    pub eyeball_as_per_country: usize,
+    /// QUIC servers to register per major provider.
+    pub servers_per_provider: usize,
+    /// Filler transit/enterprise AS count.
+    pub filler_as_count: usize,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            seed: 0x5153_414e_4421, // "QSAND!"
+            eyeball_as_per_country: 4,
+            servers_per_provider: 48,
+            filler_as_count: 24,
+        }
+    }
+}
+
+/// A research scanning project.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResearchScanner {
+    /// Scanner source address.
+    pub addr: Ipv4Addr,
+    /// Operating organization.
+    pub org: &'static str,
+    /// Origin ASN.
+    pub asn: u32,
+}
+
+/// The generated world.
+#[derive(Debug, Clone)]
+pub struct SyntheticInternet {
+    /// IP→AS database (PeeringDB stand-in).
+    pub asdb: AsDatabase,
+    /// Honeypot intelligence (GreyNoise stand-in); populated lazily by
+    /// the traffic generator as actors become active.
+    pub greynoise: GreyNoise,
+    /// Known QUIC servers (active-scan stand-in).
+    pub servers: QuicServerRegistry,
+    /// The telescope prefix (a /9).
+    pub telescope: Ipv4Prefix,
+    research: Vec<ResearchScanner>,
+    eyeball_pools: Vec<(Ipv4Prefix, &'static str)>,
+    country_weights: Vec<f64>,
+    country_pool_index: HashMap<&'static str, Vec<usize>>,
+    provider_servers: HashMap<Provider, Vec<Ipv4Addr>>,
+}
+
+impl SyntheticInternet {
+    /// Builds the world deterministically from `config`.
+    pub fn build(config: &TopologyConfig) -> Self {
+        let mut rng = substream(config.seed, "topology");
+        let mut asdb = AsDatabase::new();
+        let servers = QuicServerRegistry::new();
+        let telescope = telescope_prefix();
+
+        let mut world = SyntheticInternet {
+            asdb: AsDatabase::new(),
+            greynoise: GreyNoise::new(),
+            servers,
+            telescope,
+            research: Vec::new(),
+            eyeball_pools: Vec::new(),
+            country_weights: COUNTRY_WEIGHTS.iter().map(|(_, w)| *w).collect(),
+            country_pool_index: HashMap::new(),
+            provider_servers: HashMap::new(),
+        };
+
+        // --- Research scanners (TUM, RWTH): Education ASes in DE. ---
+        asdb.register_as(AsInfo {
+            asn: 56357,
+            name: "Technische Universitaet Muenchen".into(),
+            network_type: NetworkType::Education,
+            country: "DE",
+        });
+        asdb.announce("138.246.253.0/24".parse().expect("static"), 56357);
+        asdb.register_as(AsInfo {
+            asn: 680,
+            name: "RWTH Aachen / DFN".into(),
+            network_type: NetworkType::Education,
+            country: "DE",
+        });
+        asdb.announce("137.226.224.0/24".parse().expect("static"), 680);
+        world.research = vec![
+            ResearchScanner {
+                addr: Ipv4Addr::new(138, 246, 253, 13),
+                org: "TUM",
+                asn: 56357,
+            },
+            ResearchScanner {
+                addr: Ipv4Addr::new(137, 226, 224, 42),
+                org: "RWTH",
+                asn: 680,
+            },
+        ];
+
+        // --- Eyeball ASes per country. ---
+        // Sequential /16 allocation from 60.0.0.0, far from the
+        // telescope at 128.0.0.0/9.
+        let mut next_asn = 130_000u32;
+        let mut next_slash16 = 60u32 << 24;
+        for (ci, (country, _)) in COUNTRY_WEIGHTS.iter().enumerate() {
+            let mut pools = Vec::new();
+            for i in 0..config.eyeball_as_per_country {
+                let prefix =
+                    Ipv4Prefix::new(Ipv4Addr::from(next_slash16), 16).expect("aligned /16");
+                next_slash16 += 1 << 16;
+                asdb.register_as(AsInfo {
+                    asn: next_asn,
+                    name: format!("Eyeball-{country}-{i}"),
+                    network_type: NetworkType::Eyeball,
+                    country,
+                });
+                asdb.announce(prefix, next_asn);
+                next_asn += 1;
+                pools.push(world.eyeball_pools.len());
+                world.eyeball_pools.push((prefix, country));
+            }
+            world.country_pool_index.insert(country, pools);
+            let _ = ci;
+        }
+
+        // --- Content providers. ---
+        let provider_blocks: [(Provider, u32, &str, &str); 5] = [
+            (Provider::Google, 15169, "Google LLC", "142.250.0.0/16"),
+            (Provider::Facebook, 32934, "Facebook Inc", "157.240.0.0/16"),
+            (
+                Provider::Cloudflare,
+                13335,
+                "Cloudflare Inc",
+                "104.16.0.0/16",
+            ),
+            (
+                Provider::Akamai,
+                20940,
+                "Akamai International",
+                "23.32.0.0/16",
+            ),
+            (
+                Provider::Other,
+                200_000,
+                "Misc QUIC Hosting",
+                "185.60.0.0/16",
+            ),
+        ];
+        for (provider, asn, name, cidr) in provider_blocks {
+            let prefix: Ipv4Prefix = cidr.parse().expect("static prefix");
+            asdb.register_as(AsInfo {
+                asn,
+                name: name.into(),
+                network_type: NetworkType::Content,
+                country: "US",
+            });
+            asdb.announce(prefix, asn);
+            let mut addrs = Vec::with_capacity(config.servers_per_provider);
+            let mut seen = std::collections::HashSet::new();
+            while addrs.len() < config.servers_per_provider {
+                let addr = prefix.sample(&mut rng);
+                if !seen.insert(addr) {
+                    continue;
+                }
+                let version_wire = sample_version(&mut rng, provider);
+                world.servers.register(
+                    addr,
+                    ServerInfo {
+                        provider,
+                        version_wire,
+                        // §6: RETRY unobserved in the wild.
+                        sends_retry: false,
+                    },
+                );
+                addrs.push(addr);
+            }
+            addrs.sort();
+            world.provider_servers.insert(provider, addrs);
+        }
+
+        // --- Filler transit and enterprise ASes. ---
+        for i in 0..config.filler_as_count {
+            let prefix = Ipv4Prefix::new(Ipv4Addr::from(next_slash16), 16).expect("aligned /16");
+            next_slash16 += 1 << 16;
+            let ty = if i % 2 == 0 {
+                NetworkType::Transit
+            } else {
+                NetworkType::Enterprise
+            };
+            asdb.register_as(AsInfo {
+                asn: next_asn,
+                name: format!("Filler-{}-{i}", ty.label()),
+                network_type: ty,
+                country: "US",
+            });
+            asdb.announce(prefix, next_asn);
+            next_asn += 1;
+        }
+
+        world.asdb = asdb;
+        world
+    }
+
+    /// The research scanning projects.
+    pub fn research_scanners(&self) -> &[ResearchScanner] {
+        &self.research
+    }
+
+    /// Samples an eyeball host address weighted by the paper's country
+    /// mix; returns the address and its country.
+    pub fn sample_eyeball_source<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ipv4Addr, &'static str) {
+        let ci = weighted_index(rng, &self.country_weights);
+        let country = COUNTRY_WEIGHTS[ci].0;
+        let pools = &self.country_pool_index[country];
+        let (prefix, _) = self.eyeball_pools[pools[rng.gen_range(0..pools.len())]];
+        (prefix.sample(rng), country)
+    }
+
+    /// The registered servers of a provider (sorted, deterministic).
+    pub fn provider_servers(&self, provider: Provider) -> &[Ipv4Addr] {
+        self.provider_servers
+            .get(&provider)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Samples a victim according to the paper's provider attack shares
+    /// (58 % Google, 25 % Facebook, rest split).
+    pub fn sample_victim<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ipv4Addr, Provider) {
+        let weights: Vec<f64> = PROVIDER_ATTACK_SHARES.iter().map(|(_, w)| *w).collect();
+        let provider = PROVIDER_ATTACK_SHARES[weighted_index(rng, &weights)].0;
+        let servers = self.provider_servers(provider);
+        (servers[rng.gen_range(0..servers.len())], provider)
+    }
+}
+
+fn sample_version<R: Rng + ?Sized>(rng: &mut R, provider: Provider) -> u32 {
+    // Fig. 9: Google backscatter is 78 % draft-29 (rest v1 rollout);
+    // Facebook is 95 % mvfst-draft-27.
+    match provider {
+        Provider::Google => {
+            if rng.gen_bool(0.78) {
+                Version::Draft29.to_wire()
+            } else {
+                Version::V1.to_wire()
+            }
+        }
+        Provider::Facebook => {
+            if rng.gen_bool(0.95) {
+                Version::MvfstDraft27.to_wire()
+            } else {
+                Version::Draft27.to_wire()
+            }
+        }
+        _ => {
+            if rng.gen_bool(0.5) {
+                Version::V1.to_wire()
+            } else {
+                Version::Draft29.to_wire()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn world() -> SyntheticInternet {
+        SyntheticInternet::build(&TopologyConfig::default())
+    }
+
+    #[test]
+    fn attack_shares_form_a_distribution() {
+        let total: f64 = PROVIDER_ATTACK_SHARES.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(PROVIDER_ATTACK_SHARES[0], (Provider::Google, 0.58));
+        assert_eq!(PROVIDER_ATTACK_SHARES[1], (Provider::Facebook, 0.25));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(
+            a.provider_servers(Provider::Google),
+            b.provider_servers(Provider::Google)
+        );
+        assert_eq!(a.asdb.as_count(), b.asdb.as_count());
+    }
+
+    #[test]
+    fn research_scanners_are_education_networks() {
+        let w = world();
+        assert_eq!(w.research_scanners().len(), 2);
+        for scanner in w.research_scanners() {
+            let info = w.asdb.lookup(scanner.addr).unwrap();
+            assert_eq!(info.network_type, NetworkType::Education);
+            assert_eq!(info.country, "DE");
+            assert_eq!(info.asn, scanner.asn);
+        }
+    }
+
+    #[test]
+    fn eyeball_sources_map_to_eyeball_asns() {
+        let w = world();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let (addr, country) = w.sample_eyeball_source(&mut rng);
+            let info = w.asdb.lookup(addr).unwrap();
+            assert_eq!(info.network_type, NetworkType::Eyeball);
+            assert_eq!(info.country, country);
+        }
+    }
+
+    #[test]
+    fn country_mix_matches_weights() {
+        let w = world();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let n = 20_000;
+        let mut bd = 0;
+        for _ in 0..n {
+            if w.sample_eyeball_source(&mut rng).1 == "BD" {
+                bd += 1;
+            }
+        }
+        let share = bd as f64 / n as f64;
+        assert!((share - 0.34).abs() < 0.02, "BD share {share}");
+    }
+
+    #[test]
+    fn provider_servers_live_in_content_networks() {
+        let w = world();
+        for provider in Provider::ALL {
+            let servers = w.provider_servers(provider);
+            assert_eq!(
+                servers.len(),
+                TopologyConfig::default().servers_per_provider
+            );
+            for addr in servers {
+                assert_eq!(w.asdb.network_type(*addr), NetworkType::Content);
+                assert!(w.servers.is_known_server(*addr));
+                assert_eq!(w.servers.provider(*addr), Some(provider));
+            }
+        }
+    }
+
+    #[test]
+    fn victim_sampling_respects_shares() {
+        let w = world();
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let n = 20_000;
+        let mut google = 0;
+        let mut facebook = 0;
+        for _ in 0..n {
+            match w.sample_victim(&mut rng).1 {
+                Provider::Google => google += 1,
+                Provider::Facebook => facebook += 1,
+                _ => {}
+            }
+        }
+        let g = google as f64 / n as f64;
+        let f = facebook as f64 / n as f64;
+        assert!((g - 0.58).abs() < 0.02, "google share {g}");
+        assert!((f - 0.25).abs() < 0.02, "facebook share {f}");
+    }
+
+    #[test]
+    fn versions_match_provider_deployments() {
+        let w = world();
+        let google_d29 = w
+            .provider_servers(Provider::Google)
+            .iter()
+            .filter(|a| w.servers.lookup(**a).unwrap().version_wire == Version::Draft29.to_wire())
+            .count();
+        // 78 % of 48 ≈ 37; accept a broad band.
+        assert!(
+            (25..=47).contains(&google_d29),
+            "google draft-29 count {google_d29}"
+        );
+        let fb_mvfst = w
+            .provider_servers(Provider::Facebook)
+            .iter()
+            .filter(|a| {
+                w.servers.lookup(**a).unwrap().version_wire == Version::MvfstDraft27.to_wire()
+            })
+            .count();
+        assert!(fb_mvfst >= 40, "facebook mvfst count {fb_mvfst}");
+    }
+
+    #[test]
+    fn nothing_lives_in_the_telescope() {
+        let w = world();
+        let mut rng = ChaCha12Rng::seed_from_u64(13);
+        for _ in 0..500 {
+            let (addr, _) = w.sample_eyeball_source(&mut rng);
+            assert!(!w.telescope.contains(addr));
+        }
+        for provider in Provider::ALL {
+            for addr in w.provider_servers(provider) {
+                assert!(!w.telescope.contains(*addr));
+            }
+        }
+        for s in w.research_scanners() {
+            assert!(!w.telescope.contains(s.addr));
+        }
+    }
+
+    #[test]
+    fn no_retry_deployed_by_default() {
+        // §6 of the paper: RETRY unobserved in the wild.
+        let w = world();
+        for (_, info) in w.servers.iter() {
+            assert!(!info.sends_retry);
+        }
+    }
+
+    #[test]
+    fn fig5_category_mix_present() {
+        let w = world();
+        let mut have = std::collections::HashSet::new();
+        for ty in NetworkType::ALL {
+            let _ = ty;
+        }
+        // The database must contain eyeball, content, education,
+        // transit and enterprise ASes for Fig. 5 to be meaningful.
+        for asn in [56357u32, 680, 15169, 32934, 130_000] {
+            if let Some(info) = w.asdb.as_info(asn) {
+                have.insert(info.network_type);
+            }
+        }
+        assert!(have.contains(&NetworkType::Education));
+        assert!(have.contains(&NetworkType::Content));
+        assert!(have.contains(&NetworkType::Eyeball));
+    }
+}

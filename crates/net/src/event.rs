@@ -1,0 +1,197 @@
+//! A minimal discrete-event scheduler.
+//!
+//! The server resource model (Table 1) is a queueing simulation: packet
+//! arrivals, worker completions, state expirations and keep-alive timers
+//! are all timed events. The scheduler is a binary heap keyed by
+//! `(timestamp, sequence)`; the sequence number makes simultaneous
+//! events FIFO and the whole simulation deterministic.
+
+use crate::time::Timestamp;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying a user-defined payload.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour on BinaryHeap (a max-heap).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Timestamp,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Timestamp::EPOCH,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`. Events scheduled in the
+    /// past fire "now" (they are not reordered before already-popped
+    /// events, which is the standard DES convention).
+    pub fn schedule(&mut self, at: Timestamp, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        let scheduled = self.heap.pop()?;
+        self.now = scheduled.at;
+        Some((scheduled.at, scheduled.event))
+    }
+
+    /// Timestamp of the next event without popping.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(5), "c");
+        q.schedule(Timestamp::from_secs(1), "a");
+        q.schedule(Timestamp::from_secs(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Timestamp::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(10), ());
+        q.schedule(Timestamp::from_secs(20), ());
+        assert_eq!(q.now(), Timestamp::EPOCH);
+        q.pop();
+        assert_eq!(q.now(), Timestamp::from_secs(10));
+        q.pop();
+        assert_eq!(q.now(), Timestamp::from_secs(20));
+    }
+
+    #[test]
+    fn past_events_fire_now_not_before() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_secs(10), "first");
+        q.pop();
+        // Scheduling in the past clamps to `now`.
+        q.schedule(Timestamp::from_secs(1), "late");
+        let (at, event) = q.pop().unwrap();
+        assert_eq!(event, "late");
+        assert_eq!(at, Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Timestamp::from_secs(2), ());
+        q.schedule(Timestamp::from_secs(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Timestamp::from_secs(1)));
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(Timestamp::from_secs(*t), i);
+            }
+            let mut last = Timestamp::EPOCH;
+            while let Some((at, _)) = q.pop() {
+                prop_assert!(at >= last);
+                last = at;
+            }
+        }
+
+        #[test]
+        fn prop_all_events_delivered(n in 1usize..500) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(Timestamp::from_secs((i % 7) as u64), i);
+            }
+            let mut seen = vec![false; n];
+            while let Some((_, e)) = q.pop() {
+                seen[e] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # quicsand-net
+//!
+//! Deterministic network-simulation substrate for the QUICsand
+//! reproduction.
+//!
+//! The paper's measurement apparatus is a passive /9 telescope plus a
+//! local testbed. Both are reproduced on top of this crate:
+//!
+//! * [`time`] — microsecond timestamps and a virtual clock; every
+//!   simulation is fully deterministic and wall-clock independent.
+//! * [`ip`] — IPv4 prefixes, subnet arithmetic and address sampling
+//!   (the `/9` telescope covers 1/512 of the address space; spoofed
+//!   floods land in it with exactly that probability).
+//! * [`record`] — layer-3/4 packet records, the unit the telescope
+//!   stores and the analyses consume (pcap stand-in).
+//! * [`capture`] — a length-prefixed binary capture format with
+//!   streaming reader/writer, so scenarios can be persisted and replayed.
+//! * [`event`] — a discrete-event scheduler (binary heap of timed
+//!   events) used by the server model.
+//! * [`link`] — a rate-limited, lossy link model for the Table 1
+//!   testbed (client ↔ server over "Gigabit Ethernet").
+//! * [`l3`] — IPv4/UDP/TCP/ICMP header serialization with checksums,
+//!   so records can be lowered to real wire bytes.
+//! * [`pcap`] — classic libpcap export/import (LINKTYPE_RAW), opening
+//!   every capture in Wireshark — the paper's §4.1 dissection tool.
+//! * [`rng`] — seed-splitting helpers so every subsystem gets an
+//!   independent, reproducible ChaCha stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod event;
+pub mod ip;
+pub mod l3;
+pub mod link;
+pub mod pcap;
+pub mod record;
+pub mod rng;
+pub mod time;
+
+pub use ip::Ipv4Prefix;
+pub use record::{IcmpKind, PacketRecord, TcpFlags, Transport};
+pub use time::{Duration, Timestamp};

@@ -1,0 +1,201 @@
+//! A rate-limited, optionally lossy point-to-point link.
+//!
+//! Models the "Gigabit Ethernet" between the replay client and the NGINX
+//! host in the paper's Table 1 testbed. Transmission delay is
+//! `bytes / rate`, plus a fixed propagation delay; an optional
+//! Bernoulli loss process (smoltcp-style fault injection) supports
+//! robustness tests.
+
+use crate::time::{Duration, Timestamp};
+use rand::Rng;
+
+/// Link configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Line rate in bits per second (default: 1 Gbit/s).
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: Duration,
+    /// Probability in [0, 1] that a packet is dropped.
+    pub loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            rate_bps: 1_000_000_000,
+            propagation: Duration::from_micros(200),
+            loss: 0.0,
+        }
+    }
+}
+
+/// One direction of a link; tracks when the line is next free so that
+/// back-to-back packets serialize.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    line_free_at: Timestamp,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Link {
+    /// Creates a link with the given configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            config,
+            line_free_at: Timestamp::EPOCH,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Transmission (serialization) delay for a packet of `bytes`.
+    pub fn transmission_delay(&self, bytes: usize) -> Duration {
+        // bits / (bits/sec) in microseconds.
+        Duration::from_micros((bytes as u64 * 8).saturating_mul(1_000_000) / self.config.rate_bps)
+    }
+
+    /// Offers a packet to the link at time `now`. Returns the delivery
+    /// timestamp at the far end, or `None` if the packet was lost.
+    pub fn send<R: Rng + ?Sized>(
+        &mut self,
+        now: Timestamp,
+        bytes: usize,
+        rng: &mut R,
+    ) -> Option<Timestamp> {
+        if self.config.loss > 0.0 && rng.gen_bool(self.config.loss.clamp(0.0, 1.0)) {
+            self.dropped += 1;
+            return None;
+        }
+        let start = now.max(self.line_free_at);
+        let done = start + self.transmission_delay(bytes);
+        self.line_free_at = done;
+        self.delivered += 1;
+        Some(done + self.config.propagation)
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets dropped by the loss process.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_size() {
+        let link = Link::new(LinkConfig {
+            rate_bps: 1_000_000, // 1 Mbit/s: 1 byte = 8 us
+            propagation: Duration::ZERO,
+            loss: 0.0,
+        });
+        assert_eq!(link.transmission_delay(1).as_micros(), 8);
+        assert_eq!(link.transmission_delay(1250).as_micros(), 10_000);
+    }
+
+    #[test]
+    fn lossless_link_delivers_everything() {
+        let mut link = Link::new(LinkConfig::default());
+        let mut r = rng();
+        for i in 0..100 {
+            assert!(link
+                .send(Timestamp::from_micros(i * 10), 1200, &mut r)
+                .is_some());
+        }
+        assert_eq!(link.delivered(), 100);
+        assert_eq!(link.dropped(), 0);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize() {
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 1_000_000,
+            propagation: Duration::ZERO,
+            loss: 0.0,
+        });
+        let mut r = rng();
+        // Two 1250-byte packets offered at t=0: second must wait for the
+        // first's 10 ms serialization.
+        let d1 = link.send(Timestamp::EPOCH, 1250, &mut r).unwrap();
+        let d2 = link.send(Timestamp::EPOCH, 1250, &mut r).unwrap();
+        assert_eq!(d1.as_micros(), 10_000);
+        assert_eq!(d2.as_micros(), 20_000);
+    }
+
+    #[test]
+    fn propagation_adds_constant() {
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 1_000_000_000,
+            propagation: Duration::from_micros(500),
+            loss: 0.0,
+        });
+        let mut r = rng();
+        let delivery = link.send(Timestamp::EPOCH, 125, &mut r).unwrap();
+        // 125 bytes at 1 Gbps = 1 us + 500 us propagation.
+        assert_eq!(delivery.as_micros(), 501);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut link = Link::new(LinkConfig {
+            loss: 1.0,
+            ..LinkConfig::default()
+        });
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(link.send(Timestamp::EPOCH, 100, &mut r).is_none());
+        }
+        assert_eq!(link.dropped(), 50);
+        assert_eq!(link.delivered(), 0);
+    }
+
+    #[test]
+    fn partial_loss_rate_is_plausible() {
+        let mut link = Link::new(LinkConfig {
+            loss: 0.25,
+            ..LinkConfig::default()
+        });
+        let mut r = rng();
+        let mut lost = 0;
+        for i in 0..10_000u64 {
+            if link
+                .send(Timestamp::from_micros(i * 100), 100, &mut r)
+                .is_none()
+            {
+                lost += 1;
+            }
+        }
+        assert!((2000..3000).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn idle_link_does_not_queue() {
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 1_000_000,
+            propagation: Duration::ZERO,
+            loss: 0.0,
+        });
+        let mut r = rng();
+        let _ = link.send(Timestamp::EPOCH, 1250, &mut r); // busy until 10ms
+                                                           // A packet offered at 50 ms starts immediately.
+        let d = link
+            .send(Timestamp::from_micros(50_000), 1250, &mut r)
+            .unwrap();
+        assert_eq!(d.as_micros(), 60_000);
+    }
+}

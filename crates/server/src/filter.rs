@@ -1,0 +1,234 @@
+//! Ingress filtering strategies for QUIC floods (§5.2 insight).
+//!
+//! The paper closes its backscatter analysis with an operational
+//! observation: "operators may protect against QUIC floods by filtering
+//! based on common transport protocol features (i.e., ports) instead of
+//! using QUIC-specific features (i.e., SCIDs), which eases the
+//! deployment of countermeasures."
+//!
+//! This module implements both families so the trade-off can be
+//! *measured* (see `quicsand-core::experiments::mitigation`):
+//!
+//! * [`PortRateLimiter`] — a token bucket on UDP/443 ingress. O(1)
+//!   state, deployable on any middlebox, but content-blind: legitimate
+//!   clients share the fate of the flood once the bucket empties.
+//! * [`ConnectionIdLimiter`] — parses QUIC headers and rate-limits *new
+//!   connection attempts per source*, admitting packets of established
+//!   connections freely. Precise, but needs per-flow state and a QUIC
+//!   parser on the fast path.
+
+use quicsand_net::{Duration, Timestamp};
+use quicsand_wire::packet::{parse_datagram, ParsedHeader};
+use quicsand_wire::ConnectionId;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Verdict and bookkeeping interface shared by the strategies.
+pub trait IngressFilter {
+    /// Decides whether to admit a datagram arriving at `now` from
+    /// `src` with the given UDP payload.
+    fn admit(&mut self, now: Timestamp, src: Ipv4Addr, payload: &[u8]) -> bool;
+
+    /// Number of state entries currently held (the deployability cost
+    /// axis of §5.2).
+    fn state_entries(&self) -> usize;
+
+    /// Strategy label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// O(1)-state token bucket over all UDP/443 ingress.
+#[derive(Debug)]
+pub struct PortRateLimiter {
+    rate_pps: f64,
+    burst: f64,
+    tokens: f64,
+    last: Timestamp,
+}
+
+impl PortRateLimiter {
+    /// Creates a limiter admitting `rate_pps` packets/s with the given
+    /// burst allowance.
+    pub fn new(rate_pps: f64, burst: f64) -> Self {
+        PortRateLimiter {
+            rate_pps,
+            burst,
+            tokens: burst,
+            last: Timestamp::EPOCH,
+        }
+    }
+}
+
+impl IngressFilter for PortRateLimiter {
+    fn admit(&mut self, now: Timestamp, _src: Ipv4Addr, _payload: &[u8]) -> bool {
+        let elapsed = now.saturating_since(self.last).as_secs_f64();
+        self.last = now.max(self.last);
+        self.tokens = (self.tokens + elapsed * self.rate_pps).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn state_entries(&self) -> usize {
+        1
+    }
+
+    fn label(&self) -> &'static str {
+        "port rate limit"
+    }
+}
+
+/// QUIC-aware limiter: per-source budget of *new* connections per
+/// window; packets of already-admitted connections pass freely.
+#[derive(Debug)]
+pub struct ConnectionIdLimiter {
+    new_conns_per_window: usize,
+    window: Duration,
+    // src -> (window start, new connections admitted this window)
+    budgets: HashMap<Ipv4Addr, (Timestamp, usize)>,
+    admitted_cids: HashSet<ConnectionId>,
+}
+
+impl ConnectionIdLimiter {
+    /// Creates a limiter allowing `new_conns_per_window` fresh
+    /// connections per source per `window`.
+    pub fn new(new_conns_per_window: usize, window: Duration) -> Self {
+        ConnectionIdLimiter {
+            new_conns_per_window,
+            window,
+            budgets: HashMap::new(),
+            admitted_cids: HashSet::new(),
+        }
+    }
+}
+
+impl IngressFilter for ConnectionIdLimiter {
+    fn admit(&mut self, now: Timestamp, src: Ipv4Addr, payload: &[u8]) -> bool {
+        // Non-QUIC or malformed payloads are dropped outright (this
+        // filter sits on a QUIC port).
+        let Ok(packets) = parse_datagram(payload, 8) else {
+            return false;
+        };
+        let Some((packet, _)) = packets.first() else {
+            return false;
+        };
+        match &packet.header {
+            ParsedHeader::Long { ty, scid, .. }
+                if *ty == quicsand_wire::header::LongPacketType::Initial =>
+            {
+                // A fresh connection attempt: charge the source budget.
+                let entry = self.budgets.entry(src).or_insert((now, 0));
+                if now.saturating_since(entry.0) > self.window {
+                    *entry = (now, 0);
+                }
+                if entry.1 >= self.new_conns_per_window {
+                    return false;
+                }
+                entry.1 += 1;
+                self.admitted_cids.insert(*scid);
+                true
+            }
+            ParsedHeader::Long { scid, .. } => {
+                // Continuation of a handshake: pass if we admitted it.
+                self.admitted_cids.contains(scid)
+            }
+            ParsedHeader::Short { .. } => true, // established traffic
+            _ => true,
+        }
+    }
+
+    fn state_entries(&self) -> usize {
+        self.budgets.len() + self.admitted_cids.len()
+    }
+
+    fn label(&self) -> &'static str {
+        "connection-id limit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::InitialStream;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 0, 2, last)
+    }
+
+    #[test]
+    fn port_limiter_caps_rate() {
+        let mut f = PortRateLimiter::new(10.0, 10.0);
+        let mut admitted = 0;
+        // 100 packets within one second: the burst (10) plus ~one
+        // second of refill (10) passes, the rest drops.
+        for i in 0..100u64 {
+            if f.admit(Timestamp::from_micros(i * 10_000), ip(1), b"x") {
+                admitted += 1;
+            }
+        }
+        assert!((18..=21).contains(&admitted), "admitted {admitted}");
+        assert_eq!(f.state_entries(), 1);
+    }
+
+    #[test]
+    fn port_limiter_refills() {
+        let mut f = PortRateLimiter::new(10.0, 10.0);
+        for i in 0..20u64 {
+            f.admit(Timestamp::from_micros(i * 1_000), ip(1), b"x");
+        }
+        // After 2 idle seconds the bucket is full again.
+        assert!(f.admit(Timestamp::from_secs(3), ip(1), b"x"));
+    }
+
+    #[test]
+    fn cid_limiter_budgets_new_connections_per_source() {
+        let mut f = ConnectionIdLimiter::new(3, Duration::from_secs(60));
+        let mut stream = InitialStream::new(1);
+        let mut admitted = 0;
+        for i in 0..10 {
+            let p = stream.next().unwrap();
+            if f.admit(Timestamp::from_secs(1 + i), ip(1), &p.datagram) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 3, "budget of 3 new connections");
+        // A different source has its own budget.
+        let p = stream.next().unwrap();
+        assert!(f.admit(Timestamp::from_secs(2), ip(2), &p.datagram));
+    }
+
+    #[test]
+    fn cid_limiter_budget_resets_after_window() {
+        let mut f = ConnectionIdLimiter::new(1, Duration::from_secs(10));
+        let mut stream = InitialStream::new(2);
+        let p1 = stream.next().unwrap();
+        let p2 = stream.next().unwrap();
+        let p3 = stream.next().unwrap();
+        assert!(f.admit(Timestamp::from_secs(1), ip(1), &p1.datagram));
+        assert!(!f.admit(Timestamp::from_secs(2), ip(1), &p2.datagram));
+        assert!(f.admit(Timestamp::from_secs(20), ip(1), &p3.datagram));
+    }
+
+    #[test]
+    fn cid_limiter_drops_garbage() {
+        let mut f = ConnectionIdLimiter::new(100, Duration::from_secs(60));
+        assert!(!f.admit(Timestamp::from_secs(1), ip(1), &[0x12, 0x34]));
+    }
+
+    #[test]
+    fn cid_limiter_state_grows_with_flood() {
+        let mut f = ConnectionIdLimiter::new(1_000_000, Duration::from_secs(60));
+        let mut port = PortRateLimiter::new(1_000_000.0, 1_000_000.0);
+        for (i, p) in InitialStream::new(3).take(200).enumerate() {
+            let now = Timestamp::from_secs(1 + i as u64 / 10);
+            f.admit(now, p.src_ip, &p.datagram);
+            port.admit(now, p.src_ip, &p.datagram);
+        }
+        // §5.2's deployability point, as numbers: per-flow state vs O(1).
+        assert!(f.state_entries() >= 200, "cid state {}", f.state_entries());
+        assert_eq!(port.state_entries(), 1);
+    }
+}

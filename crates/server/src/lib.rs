@@ -1,0 +1,32 @@
+//! # quicsand-server
+//!
+//! The QUIC server resource model, client, and flood-replay harness
+//! behind Table 1 of the paper.
+//!
+//! The paper benchmarks NGINX's QUIC stack on a 128-core machine by
+//! replaying 500 000 recorded client Initials at increasing rates and
+//! measuring service availability, with and without RETRY. This crate
+//! reproduces the *mechanism* (DESIGN.md §2):
+//!
+//! * [`model`] — a worker-based server: per-worker connection tables
+//!   (1 024 entries, states held for the 60 s handshake lifetime),
+//!   per-worker CPU with an accept backlog, per-handshake crypto cost,
+//!   and a stateless RETRY fast path. The server speaks the real
+//!   `quicsand-wire` format: it parses Initials, derives keys, seals
+//!   responses, validates retry tokens.
+//! * [`client`] — a QUIC client state machine (quiche stand-in) that
+//!   performs full handshakes, transparently honouring RETRY.
+//! * [`replay`] — the Table 1 harness: record a client corpus, replay
+//!   at a fixed rate, count responses, compute availability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod filter;
+pub mod model;
+pub mod replay;
+
+pub use client::QuicClient;
+pub use model::{QuicServerSim, RetryPolicy, ServerConfig, ServerStats};
+pub use replay::{replay_flood, ReplayConfig, ReplayOutcome};

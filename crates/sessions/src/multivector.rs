@@ -1,0 +1,312 @@
+//! Multi-vector attack correlation (§5.2, Appendix C).
+//!
+//! Each QUIC flood is classified against the TCP/ICMP floods hitting the
+//! same victim:
+//!
+//! * **Concurrent** — overlaps a common-protocol flood by ≥1 s
+//!   (51 % in the paper, Fig. 8); the *overlap share* distribution is
+//!   Fig. 12 (mean 95 %, three quarters fully parallel).
+//! * **Sequential** — same victim, but disjoint in time (40 %); the
+//!   *gap* to the nearest common flood is Fig. 13 (82 % > 1 h, mean
+//!   36 h, tail up to 28 days).
+//! * **Isolated** — the victim saw no TCP/ICMP flood at all (9 %).
+
+use crate::dos::Attack;
+use quicsand_net::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Classification of one QUIC flood relative to common-protocol floods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultiVectorClass {
+    /// Overlaps a TCP/ICMP flood on the same victim by ≥1 s.
+    Concurrent,
+    /// Same victim attacked by TCP/ICMP, but never overlapping.
+    Sequential,
+    /// No TCP/ICMP flood against this victim in the whole period.
+    Isolated,
+}
+
+impl MultiVectorClass {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MultiVectorClass::Concurrent => "concurrent",
+            MultiVectorClass::Sequential => "sequential",
+            MultiVectorClass::Isolated => "isolated",
+        }
+    }
+}
+
+/// Per-QUIC-flood correlation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedAttack {
+    /// Index into the QUIC attack slice passed to
+    /// [`classify_multivector`].
+    pub quic_index: usize,
+    /// The classification.
+    pub class: MultiVectorClass,
+    /// For concurrent attacks: the share of the QUIC flood's duration
+    /// that overlaps common floods (0..=1), computed against the
+    /// best-overlapping common flood.
+    pub overlap_share: Option<f64>,
+    /// For sequential attacks: the gap to the nearest common flood.
+    pub gap: Option<Duration>,
+}
+
+/// Aggregated multi-vector report (Fig. 8 + Figs. 12/13 inputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiVectorReport {
+    /// Per-attack results, index-aligned with the QUIC attacks.
+    pub attacks: Vec<CorrelatedAttack>,
+    /// Count per class.
+    pub class_counts: HashMap<String, usize>,
+}
+
+impl MultiVectorReport {
+    /// Share of a class among all QUIC attacks.
+    pub fn share(&self, class: MultiVectorClass) -> f64 {
+        if self.attacks.is_empty() {
+            return 0.0;
+        }
+        self.class_counts.get(class.label()).copied().unwrap_or(0) as f64
+            / self.attacks.len() as f64
+    }
+
+    /// Overlap shares of concurrent attacks (Fig. 12 samples).
+    pub fn overlap_shares(&self) -> Vec<f64> {
+        self.attacks
+            .iter()
+            .filter_map(|a| a.overlap_share)
+            .collect()
+    }
+
+    /// Gaps of sequential attacks in seconds (Fig. 13 samples).
+    pub fn gap_seconds(&self) -> Vec<f64> {
+        self.attacks
+            .iter()
+            .filter_map(|a| a.gap.map(|g| g.as_secs_f64()))
+            .collect()
+    }
+}
+
+/// Correlates QUIC floods with common-protocol floods.
+pub fn classify_multivector(quic: &[Attack], common: &[Attack]) -> MultiVectorReport {
+    // Index common floods per victim once.
+    let mut by_victim: HashMap<Ipv4Addr, Vec<&Attack>> = HashMap::new();
+    for attack in common {
+        by_victim.entry(attack.victim).or_default().push(attack);
+    }
+
+    let mut attacks = Vec::with_capacity(quic.len());
+    let mut class_counts: HashMap<String, usize> = HashMap::new();
+    for (quic_index, q) in quic.iter().enumerate() {
+        let result = match by_victim.get(&q.victim) {
+            None => CorrelatedAttack {
+                quic_index,
+                class: MultiVectorClass::Isolated,
+                overlap_share: None,
+                gap: None,
+            },
+            Some(commons) => {
+                let best_overlap = commons
+                    .iter()
+                    .map(|c| q.overlap_with(c))
+                    .max()
+                    .unwrap_or(Duration::ZERO);
+                if best_overlap >= Duration::from_secs(1) {
+                    let quic_duration = q.duration().as_secs_f64().max(1.0);
+                    let share = (best_overlap.as_secs_f64() / quic_duration).min(1.0);
+                    CorrelatedAttack {
+                        quic_index,
+                        class: MultiVectorClass::Concurrent,
+                        overlap_share: Some(share),
+                        gap: None,
+                    }
+                } else {
+                    let gap = commons
+                        .iter()
+                        .map(|c| q.gap_to(c))
+                        .min()
+                        .unwrap_or(Duration::ZERO);
+                    CorrelatedAttack {
+                        quic_index,
+                        class: MultiVectorClass::Sequential,
+                        overlap_share: None,
+                        gap: Some(gap),
+                    }
+                }
+            }
+        };
+        *class_counts
+            .entry(result.class.label().to_string())
+            .or_default() += 1;
+        attacks.push(result);
+    }
+    MultiVectorReport {
+        attacks,
+        class_counts,
+    }
+}
+
+/// A single-victim attack timeline (Fig. 11): the attacks against one
+/// victim in time order, labelled by protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VictimTimeline {
+    /// The victim.
+    pub victim: Ipv4Addr,
+    /// `(protocol label, start, end)` rows in start order.
+    pub rows: Vec<(String, u64, u64)>,
+}
+
+/// Builds the timeline of all attacks against `victim`.
+pub fn victim_timeline(victim: Ipv4Addr, quic: &[Attack], common: &[Attack]) -> VictimTimeline {
+    let mut rows: Vec<(String, u64, u64)> = quic
+        .iter()
+        .chain(common.iter())
+        .filter(|a| a.victim == victim)
+        .map(|a| {
+            (
+                a.protocol.label().to_string(),
+                a.start.as_secs(),
+                a.end.as_secs(),
+            )
+        })
+        .collect();
+    rows.sort_by_key(|(_, start, _)| *start);
+    VictimTimeline { victim, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dos::AttackProtocol;
+    use quicsand_net::Timestamp;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, last)
+    }
+
+    fn attack(victim: Ipv4Addr, protocol: AttackProtocol, start: u64, end: u64) -> Attack {
+        Attack {
+            victim,
+            protocol,
+            start: Timestamp::from_secs(start),
+            end: Timestamp::from_secs(end),
+            packet_count: 100,
+            max_pps: 1.0,
+        }
+    }
+
+    #[test]
+    fn concurrent_detected_with_overlap_share() {
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 100, 200)];
+        let common = vec![attack(ip(1), AttackProtocol::TcpIcmp, 150, 400)];
+        let report = classify_multivector(&quic, &common);
+        assert_eq!(report.attacks[0].class, MultiVectorClass::Concurrent);
+        let share = report.attacks[0].overlap_share.unwrap();
+        assert!((share - 0.5).abs() < 1e-9, "share={share}");
+        assert_eq!(report.share(MultiVectorClass::Concurrent), 1.0);
+    }
+
+    #[test]
+    fn full_overlap_share_is_one() {
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 100, 200)];
+        let common = vec![attack(ip(1), AttackProtocol::TcpIcmp, 50, 500)];
+        let report = classify_multivector(&quic, &common);
+        assert_eq!(report.attacks[0].overlap_share, Some(1.0));
+    }
+
+    #[test]
+    fn sequential_detected_with_nearest_gap() {
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 1000, 1100)];
+        let common = vec![
+            attack(ip(1), AttackProtocol::TcpIcmp, 0, 500), // gap 500
+            attack(ip(1), AttackProtocol::TcpIcmp, 2000, 2500), // gap 900
+        ];
+        let report = classify_multivector(&quic, &common);
+        assert_eq!(report.attacks[0].class, MultiVectorClass::Sequential);
+        assert_eq!(report.attacks[0].gap.unwrap().as_secs(), 500);
+        assert_eq!(report.gap_seconds(), vec![500.0]);
+    }
+
+    #[test]
+    fn isolated_when_victim_unshared() {
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 0, 100)];
+        let common = vec![attack(ip(2), AttackProtocol::TcpIcmp, 0, 100)];
+        let report = classify_multivector(&quic, &common);
+        assert_eq!(report.attacks[0].class, MultiVectorClass::Isolated);
+        assert_eq!(report.share(MultiVectorClass::Isolated), 1.0);
+        assert!(report.overlap_shares().is_empty());
+        assert!(report.gap_seconds().is_empty());
+    }
+
+    #[test]
+    fn sub_second_overlap_is_sequential() {
+        // Touching intervals share zero full seconds.
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 100, 200)];
+        let common = vec![attack(ip(1), AttackProtocol::TcpIcmp, 200, 300)];
+        let report = classify_multivector(&quic, &common);
+        assert_eq!(report.attacks[0].class, MultiVectorClass::Sequential);
+        assert_eq!(report.attacks[0].gap.unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let quic = vec![
+            attack(ip(1), AttackProtocol::Quic, 100, 200), // concurrent
+            attack(ip(1), AttackProtocol::Quic, 5000, 5100), // sequential
+            attack(ip(9), AttackProtocol::Quic, 0, 100),   // isolated
+        ];
+        let common = vec![attack(ip(1), AttackProtocol::TcpIcmp, 150, 300)];
+        let report = classify_multivector(&quic, &common);
+        let total = report.share(MultiVectorClass::Concurrent)
+            + report.share(MultiVectorClass::Sequential)
+            + report.share(MultiVectorClass::Isolated);
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(report.class_counts["concurrent"], 1);
+        assert_eq!(report.class_counts["sequential"], 1);
+        assert_eq!(report.class_counts["isolated"], 1);
+    }
+
+    #[test]
+    fn best_overlap_wins_among_multiple_commons() {
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 100, 200)];
+        let common = vec![
+            attack(ip(1), AttackProtocol::TcpIcmp, 190, 300), // 10 s overlap
+            attack(ip(1), AttackProtocol::TcpIcmp, 100, 180), // 80 s overlap
+        ];
+        let report = classify_multivector(&quic, &common);
+        assert!((report.attacks[0].overlap_share.unwrap() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let report = classify_multivector(&[], &[]);
+        assert!(report.attacks.is_empty());
+        assert_eq!(report.share(MultiVectorClass::Concurrent), 0.0);
+    }
+
+    #[test]
+    fn timeline_orders_rows() {
+        let quic = vec![
+            attack(ip(1), AttackProtocol::Quic, 500, 600),
+            attack(ip(1), AttackProtocol::Quic, 100, 200),
+            attack(ip(2), AttackProtocol::Quic, 0, 50),
+        ];
+        let common = vec![attack(ip(1), AttackProtocol::TcpIcmp, 150, 400)];
+        let timeline = victim_timeline(ip(1), &quic, &common);
+        assert_eq!(timeline.rows.len(), 3);
+        assert_eq!(timeline.rows[0], ("QUIC".to_string(), 100, 200));
+        assert_eq!(timeline.rows[1], ("TCP/ICMP".to_string(), 150, 400));
+        assert_eq!(timeline.rows[2], ("QUIC".to_string(), 500, 600));
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(MultiVectorClass::Concurrent.label(), "concurrent");
+        assert_eq!(MultiVectorClass::Sequential.label(), "sequential");
+        assert_eq!(MultiVectorClass::Isolated.label(), "isolated");
+    }
+}

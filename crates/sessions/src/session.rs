@@ -1,0 +1,502 @@
+//! Timeout-based sessionization (§5.1).
+//!
+//! Packets are grouped per source IP address; a session ends when the
+//! source stays silent longer than the timeout. The paper sweeps the
+//! timeout from 1 to 60 minutes (Fig. 4), finds the knee at ~5 minutes,
+//! and notes the lower bound given by `timeout = ∞` (one session per
+//! source).
+//!
+//! The [`Sessionizer`] is streaming: it consumes packets in time order
+//! and emits sessions as they close, so a month of telescope traffic
+//! never needs to sit in memory at once. An ablation bench compares this
+//! against batch grouping (DESIGN.md §3).
+
+use quicsand_net::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Sessionizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Inactivity timeout that splits sessions. The paper selects
+    /// 5 minutes (knee of Fig. 4, coherent with Moore et al. and
+    /// Jonker et al.).
+    pub timeout: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            timeout: Duration::from_mins(5),
+        }
+    }
+}
+
+/// A closed session: all packets from one source with no gap exceeding
+/// the timeout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// The source address (for backscatter sessions this is the flood
+    /// *victim*; for request sessions the scanner).
+    pub src: Ipv4Addr,
+    /// Timestamp of the first packet.
+    pub start: Timestamp,
+    /// Timestamp of the last packet.
+    pub end: Timestamp,
+    /// Total packets in the session.
+    pub packet_count: u64,
+    /// Packets per 1-minute slot (minute bucket → count), the basis of
+    /// the max-pps intensity metric (§5.2).
+    pub minute_counts: HashMap<u64, u64>,
+}
+
+impl Session {
+    /// Session duration (last − first packet).
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// Maximum packet rate over all 1-minute slots, in packets per
+    /// second — the intensity metric of §5.2 / Fig. 7(b).
+    pub fn max_pps(&self) -> f64 {
+        self.minute_counts
+            .values()
+            .map(|&c| c as f64 / 60.0)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean packet rate over the whole session (packets / duration).
+    pub fn mean_pps(&self) -> f64 {
+        let secs = self.duration().as_secs_f64();
+        if secs == 0.0 {
+            self.packet_count as f64
+        } else {
+            self.packet_count as f64 / secs
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenSession {
+    start: Timestamp,
+    last: Timestamp,
+    packet_count: u64,
+    minute_counts: HashMap<u64, u64>,
+}
+
+impl OpenSession {
+    fn close(self, src: Ipv4Addr) -> Session {
+        Session {
+            src,
+            start: self.start,
+            end: self.last,
+            packet_count: self.packet_count,
+            minute_counts: self.minute_counts,
+        }
+    }
+}
+
+/// Streaming sessionizer. Feed packets in non-decreasing time order;
+/// closed sessions are buffered and drained via [`Sessionizer::drain`] /
+/// [`Sessionizer::finish`].
+#[derive(Debug)]
+pub struct Sessionizer {
+    config: SessionConfig,
+    open: HashMap<Ipv4Addr, OpenSession>,
+    closed: Vec<Session>,
+    last_ts: Timestamp,
+}
+
+impl Sessionizer {
+    /// Creates a sessionizer.
+    pub fn new(config: SessionConfig) -> Self {
+        Sessionizer {
+            config,
+            open: HashMap::new(),
+            closed: Vec::new(),
+            last_ts: Timestamp::EPOCH,
+        }
+    }
+
+    /// Offers one packet. Panics if packets go backwards in time (the
+    /// telescope capture is time-ordered by construction; violating
+    /// that is a pipeline bug).
+    pub fn offer(&mut self, ts: Timestamp, src: Ipv4Addr) {
+        assert!(
+            ts >= self.last_ts,
+            "sessionizer requires time-ordered input ({ts} < {})",
+            self.last_ts
+        );
+        self.last_ts = ts;
+        let minute = ts.minute_bucket();
+        match self.open.get_mut(&src) {
+            Some(open) if ts.saturating_since(open.last) <= self.config.timeout => {
+                open.last = ts;
+                open.packet_count += 1;
+                *open.minute_counts.entry(minute).or_default() += 1;
+            }
+            Some(open) => {
+                // Gap exceeded: close and start fresh.
+                let closed = std::mem::replace(
+                    open,
+                    OpenSession {
+                        start: ts,
+                        last: ts,
+                        packet_count: 1,
+                        minute_counts: HashMap::from([(minute, 1)]),
+                    },
+                );
+                self.closed.push(closed.close(src));
+            }
+            None => {
+                self.open.insert(
+                    src,
+                    OpenSession {
+                        start: ts,
+                        last: ts,
+                        packet_count: 1,
+                        minute_counts: HashMap::from([(minute, 1)]),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Takes the sessions closed so far.
+    pub fn drain(&mut self) -> Vec<Session> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Closes every open session and returns all remaining ones.
+    pub fn finish(mut self) -> Vec<Session> {
+        let mut sessions = std::mem::take(&mut self.closed);
+        for (src, open) in self.open.drain() {
+            sessions.push(open.close(src));
+        }
+        // Deterministic output order regardless of hash-map iteration.
+        sessions.sort_by_key(|s| (s.start, s.src));
+        sessions
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Convenience: sessionizes a time-ordered `(ts, src)` stream in one
+/// call.
+pub fn sessionize<I: IntoIterator<Item = (Timestamp, Ipv4Addr)>>(
+    packets: I,
+    config: SessionConfig,
+) -> Vec<Session> {
+    let mut s = Sessionizer::new(config);
+    for (ts, src) in packets {
+        s.offer(ts, src);
+    }
+    s.finish()
+}
+
+/// Counts the sessions produced by each timeout in `timeouts`, plus the
+/// `timeout = ∞` floor (unique sources) — the Fig. 4 sweep.
+///
+/// Computed from per-source inter-arrival gaps in a single pass:
+/// `sessions(timeout) = #sources + #gaps_exceeding(timeout)`, which
+/// avoids rerunning the sessionizer per timeout value. The returned
+/// pairs preserve the order of `timeouts`.
+pub fn timeout_sweep<I: IntoIterator<Item = (Timestamp, Ipv4Addr)>>(
+    packets: I,
+    timeouts: &[Duration],
+) -> TimeoutSweep {
+    let mut last_seen: HashMap<Ipv4Addr, Timestamp> = HashMap::new();
+    let mut gaps: Vec<Duration> = Vec::new();
+    let mut sources = 0u64;
+    for (ts, src) in packets {
+        match last_seen.get_mut(&src) {
+            Some(last) => {
+                gaps.push(ts.saturating_since(*last));
+                *last = ts;
+            }
+            None => {
+                sources += 1;
+                last_seen.insert(src, ts);
+            }
+        }
+    }
+    gaps.sort_unstable();
+    let counts = timeouts
+        .iter()
+        .map(|timeout| {
+            // Gaps strictly greater than the timeout split sessions.
+            let split = gaps.partition_point(|g| *g <= *timeout);
+            let exceeding = (gaps.len() - split) as u64;
+            (*timeout, sources + exceeding)
+        })
+        .collect();
+    TimeoutSweep {
+        counts,
+        infinity_floor: sources,
+    }
+}
+
+/// Result of [`timeout_sweep`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeoutSweep {
+    /// `(timeout, session count)` in input order.
+    pub counts: Vec<(Duration, u64)>,
+    /// Session count for `timeout = ∞` (one session per source).
+    pub infinity_floor: u64,
+}
+
+impl TimeoutSweep {
+    /// Finds the knee: the smallest timeout after which the relative
+    /// reduction per additional step drops below `threshold` (e.g. 0.01
+    /// for 1 %). Assumes `counts` is ordered by increasing timeout.
+    pub fn knee(&self, threshold: f64) -> Option<Duration> {
+        for window in self.counts.windows(2) {
+            let (t, c0) = window[0];
+            let (_, c1) = window[1];
+            if c0 == 0 {
+                return Some(t);
+            }
+            let reduction = (c0 as f64 - c1 as f64) / c0 as f64;
+            if reduction < threshold {
+                return Some(t);
+            }
+        }
+        self.counts.last().map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn cfg(timeout_secs: u64) -> SessionConfig {
+        SessionConfig {
+            timeout: Duration::from_secs(timeout_secs),
+        }
+    }
+
+    #[test]
+    fn single_source_single_session() {
+        let packets = (0..10).map(|i| (Timestamp::from_secs(i * 10), ip(1)));
+        let sessions = sessionize(packets, cfg(300));
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert_eq!(s.src, ip(1));
+        assert_eq!(s.packet_count, 10);
+        assert_eq!(s.duration().as_secs(), 90);
+    }
+
+    #[test]
+    fn gap_splits_sessions() {
+        let mut packets = vec![
+            (Timestamp::from_secs(0), ip(1)),
+            (Timestamp::from_secs(10), ip(1)),
+        ];
+        // Gap of 301 s > 300 s timeout.
+        packets.push((Timestamp::from_secs(311), ip(1)));
+        let sessions = sessionize(packets, cfg(300));
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].packet_count, 2);
+        assert_eq!(sessions[1].packet_count, 1);
+    }
+
+    #[test]
+    fn gap_exactly_timeout_does_not_split() {
+        let packets = vec![
+            (Timestamp::from_secs(0), ip(1)),
+            (Timestamp::from_secs(300), ip(1)),
+        ];
+        let sessions = sessionize(packets, cfg(300));
+        assert_eq!(sessions.len(), 1);
+    }
+
+    #[test]
+    fn sources_are_independent() {
+        let packets = vec![
+            (Timestamp::from_secs(0), ip(1)),
+            (Timestamp::from_secs(1), ip(2)),
+            (Timestamp::from_secs(2), ip(1)),
+            (Timestamp::from_secs(3), ip(3)),
+        ];
+        let sessions = sessionize(packets, cfg(300));
+        assert_eq!(sessions.len(), 3);
+        let total: u64 = sessions.iter().map(|s| s.packet_count).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn max_pps_uses_minute_slots() {
+        // 120 packets in minute 0, 6 packets in minute 1.
+        let mut packets = Vec::new();
+        for i in 0..120u64 {
+            packets.push((Timestamp::from_micros(i * 500_000), ip(1)));
+        }
+        for i in 0..6u64 {
+            packets.push((Timestamp::from_secs(60 + i), ip(1)));
+        }
+        let sessions = sessionize(packets, cfg(300));
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert!((s.max_pps() - 2.0).abs() < 1e-9, "max_pps={}", s.max_pps());
+    }
+
+    #[test]
+    fn mean_pps() {
+        let packets = vec![
+            (Timestamp::from_secs(0), ip(1)),
+            (Timestamp::from_secs(10), ip(1)),
+        ];
+        let sessions = sessionize(packets, cfg(300));
+        assert!((sessions[0].mean_pps() - 0.2).abs() < 1e-9);
+        // Single-packet session: duration 0, mean = count.
+        let single = sessionize(vec![(Timestamp::from_secs(0), ip(2))], cfg(300));
+        assert_eq!(single[0].mean_pps(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_input_panics() {
+        let mut s = Sessionizer::new(cfg(300));
+        s.offer(Timestamp::from_secs(10), ip(1));
+        s.offer(Timestamp::from_secs(5), ip(1));
+    }
+
+    #[test]
+    fn drain_and_open_count() {
+        let mut s = Sessionizer::new(cfg(10));
+        s.offer(Timestamp::from_secs(0), ip(1));
+        s.offer(Timestamp::from_secs(0), ip(2));
+        assert_eq!(s.open_count(), 2);
+        assert!(s.drain().is_empty());
+        // ip(1) times out when its next packet arrives late.
+        s.offer(Timestamp::from_secs(100), ip(1));
+        let drained = s.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].src, ip(1));
+        assert_eq!(s.open_count(), 2);
+    }
+
+    #[test]
+    fn finish_sorted_by_start() {
+        let packets = vec![
+            (Timestamp::from_secs(0), ip(5)),
+            (Timestamp::from_secs(1), ip(4)),
+            (Timestamp::from_secs(2), ip(3)),
+        ];
+        let sessions = sessionize(packets, cfg(300));
+        let starts: Vec<u64> = sessions.iter().map(|s| s.start.as_secs()).collect();
+        assert_eq!(starts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timeout_sweep_matches_direct_sessionization() {
+        // 3 sources with assorted gaps.
+        let packets = vec![
+            (Timestamp::from_secs(0), ip(1)),
+            (Timestamp::from_secs(100), ip(1)),
+            (Timestamp::from_secs(400), ip(1)),
+            (Timestamp::from_secs(0), ip(2)),
+            (Timestamp::from_secs(1000), ip(2)),
+            (Timestamp::from_secs(500), ip(3)),
+        ];
+        let mut ordered = packets.clone();
+        ordered.sort_by_key(|(ts, _)| *ts);
+        let timeouts: Vec<Duration> = [60u64, 300, 600, 1200]
+            .iter()
+            .map(|s| Duration::from_secs(*s))
+            .collect();
+        let sweep = timeout_sweep(ordered.iter().copied(), &timeouts);
+        for (timeout, count) in &sweep.counts {
+            let direct = sessionize(ordered.iter().copied(), SessionConfig { timeout: *timeout });
+            assert_eq!(direct.len() as u64, *count, "timeout {timeout} mismatch");
+        }
+        assert_eq!(sweep.infinity_floor, 3);
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing() {
+        let packets: Vec<_> = (0..500u64)
+            .map(|i| (Timestamp::from_secs(i * 37 % 10_000), ip((i % 20) as u8)))
+            .collect();
+        let mut ordered = packets;
+        ordered.sort_by_key(|(ts, _)| *ts);
+        let timeouts: Vec<Duration> = (1..=60).map(Duration::from_mins).collect();
+        let sweep = timeout_sweep(ordered, &timeouts);
+        for w in sweep.counts.windows(2) {
+            assert!(w[0].1 >= w[1].1, "session count must not increase");
+        }
+        assert!(sweep.counts.last().unwrap().1 >= sweep.infinity_floor);
+    }
+
+    #[test]
+    fn knee_detection() {
+        let sweep = TimeoutSweep {
+            counts: vec![
+                (Duration::from_mins(1), 1000),
+                (Duration::from_mins(2), 800),
+                (Duration::from_mins(3), 700),
+                (Duration::from_mins(4), 660),
+                (Duration::from_mins(5), 655),
+                (Duration::from_mins(6), 654),
+            ],
+            infinity_floor: 600,
+        };
+        // With a 1 % threshold the knee lands where reduction < 1 %:
+        // 4→5 min reduces by 5/660 ≈ 0.76 % ⇒ knee at 4? No: windows
+        // are evaluated in order; 1→2 is 20 %, 2→3 is 12.5 %, 3→4 is
+        // 5.7 %, 4→5 is 0.76 % < 1 % ⇒ returns 4 min.
+        assert_eq!(sweep.knee(0.01), Some(Duration::from_mins(4)));
+        // A looser threshold (6 %) stops earlier: 3→4 min reduces by
+        // only 5.7 %.
+        assert_eq!(sweep.knee(0.06), Some(Duration::from_mins(3)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_packets_conserved(
+            raw in proptest::collection::vec((0u64..5_000, 0u8..10), 1..300),
+        ) {
+            let mut packets: Vec<(Timestamp, Ipv4Addr)> = raw
+                .into_iter()
+                .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
+                .collect();
+            packets.sort_by_key(|(ts, _)| *ts);
+            let n = packets.len() as u64;
+            let sessions = sessionize(packets, cfg(120));
+            let total: u64 = sessions.iter().map(|s| s.packet_count).sum();
+            prop_assert_eq!(total, n);
+            // Session invariants.
+            for s in &sessions {
+                prop_assert!(s.end >= s.start);
+                prop_assert!(s.packet_count >= 1);
+                let slot_total: u64 = s.minute_counts.values().sum();
+                prop_assert_eq!(slot_total, s.packet_count);
+            }
+        }
+
+        #[test]
+        fn prop_larger_timeout_never_more_sessions(
+            raw in proptest::collection::vec((0u64..5_000, 0u8..6), 1..200),
+            t1 in 1u64..100,
+            t2 in 100u64..1000,
+        ) {
+            let mut packets: Vec<(Timestamp, Ipv4Addr)> = raw
+                .into_iter()
+                .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
+                .collect();
+            packets.sort_by_key(|(ts, _)| *ts);
+            let small = sessionize(packets.iter().copied(), cfg(t1)).len();
+            let large = sessionize(packets.iter().copied(), cfg(t2)).len();
+            prop_assert!(large <= small);
+        }
+    }
+}

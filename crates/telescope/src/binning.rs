@@ -1,0 +1,137 @@
+//! Time binning for the hourly series of Figs. 2 and 3.
+
+use quicsand_net::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An hourly counter series over the measurement period.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HourlySeries {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl HourlySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one event at `ts`.
+    pub fn add(&mut self, ts: Timestamp) {
+        *self.counts.entry(ts.hour_bucket()).or_default() += 1;
+    }
+
+    /// Adds `n` events at `ts`.
+    pub fn add_n(&mut self, ts: Timestamp, n: u64) {
+        *self.counts.entry(ts.hour_bucket()).or_default() += n;
+    }
+
+    /// Count in a specific hour bucket.
+    pub fn get(&self, hour: u64) -> u64 {
+        self.counts.get(&hour).copied().unwrap_or(0)
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// `(hour, count)` rows for every hour in `0..hours`, including
+    /// empty ones (plots need the zeros).
+    pub fn dense(&self, hours: u64) -> Vec<(u64, u64)> {
+        (0..hours).map(|h| (h, self.get(h))).collect()
+    }
+
+    /// Mean count per hour-of-day (0–23) — the Fig. 3 insert profile.
+    pub fn hour_of_day_profile(&self) -> [f64; 24] {
+        let mut sums = [0u64; 24];
+        let mut days = [0u64; 24];
+        for (&hour, &count) in &self.counts {
+            sums[(hour % 24) as usize] += count;
+            days[(hour % 24) as usize] += 1;
+        }
+        let mut profile = [0.0; 24];
+        for i in 0..24 {
+            if days[i] > 0 {
+                profile[i] = sums[i] as f64 / days[i] as f64;
+            }
+        }
+        profile
+    }
+
+    /// Coefficient of variation of the hourly counts over `hours` —
+    /// the paper's "requests are stable, responses are erratic"
+    /// contrast is a variability statement.
+    pub fn coefficient_of_variation(&self, hours: u64) -> f64 {
+        if hours == 0 {
+            return 0.0;
+        }
+        let values: Vec<f64> = (0..hours).map(|h| self.get(h) as f64).collect();
+        let mean = values.iter().sum::<f64>() / hours as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / hours as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut s = HourlySeries::new();
+        s.add(Timestamp::from_secs(10));
+        s.add(Timestamp::from_secs(3_599));
+        s.add(Timestamp::from_secs(3_600));
+        s.add_n(Timestamp::from_secs(7_200), 5);
+        assert_eq!(s.get(0), 2);
+        assert_eq!(s.get(1), 1);
+        assert_eq!(s.get(2), 5);
+        assert_eq!(s.get(3), 0);
+        assert_eq!(s.total(), 8);
+    }
+
+    #[test]
+    fn dense_includes_zeros() {
+        let mut s = HourlySeries::new();
+        s.add(Timestamp::from_secs(3_600));
+        let rows = s.dense(3);
+        assert_eq!(rows, vec![(0, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn hour_of_day_profile_averages_days() {
+        let mut s = HourlySeries::new();
+        // Hour 6 on two different days: 10 and 20 events.
+        s.add_n(Timestamp::from_secs(6 * 3_600), 10);
+        s.add_n(Timestamp::from_secs(86_400 + 6 * 3_600), 20);
+        let profile = s.hour_of_day_profile();
+        assert_eq!(profile[6], 15.0);
+        assert_eq!(profile[7], 0.0);
+    }
+
+    #[test]
+    fn cv_distinguishes_stable_from_erratic() {
+        let mut stable = HourlySeries::new();
+        let mut erratic = HourlySeries::new();
+        for h in 0..48u64 {
+            stable.add_n(Timestamp::from_secs(h * 3_600), 100);
+            // One huge burst, silence otherwise.
+            if h == 20 {
+                erratic.add_n(Timestamp::from_secs(h * 3_600), 4_800);
+            }
+        }
+        assert!(stable.coefficient_of_variation(48) < 0.01);
+        assert!(erratic.coefficient_of_variation(48) > 3.0);
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        let s = HourlySeries::new();
+        assert_eq!(s.coefficient_of_variation(0), 0.0);
+        assert_eq!(s.coefficient_of_variation(10), 0.0);
+    }
+}

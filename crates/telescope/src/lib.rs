@@ -1,0 +1,21 @@
+//! # quicsand-telescope
+//!
+//! The telescope-side processing pipeline (§4 of the paper):
+//!
+//! 1. ingest captured records ([`pipeline`]): port-filter, dissect,
+//!    reject false positives — producing per-packet QUIC observations;
+//! 2. identify and remove research scanners ([`filter`]) — the Fig. 2
+//!    sanitization step;
+//! 3. bin observations over time ([`binning`]) — the Figs. 2/3 hourly
+//!    series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod filter;
+pub mod pipeline;
+
+pub use binning::HourlySeries;
+pub use filter::ResearchFilter;
+pub use pipeline::{IngestStats, QuicObservation, TelescopePipeline};

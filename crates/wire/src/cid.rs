@@ -1,0 +1,267 @@
+//! QUIC connection identifiers (RFC 9000 §5.1).
+//!
+//! Connection IDs are 0–20 byte opaque values. The paper uses the *source*
+//! connection ID (SCID) observed in backscatter as a proxy for server-side
+//! state allocation (Fig. 9), so the type is `Ord + Hash` and cheap to
+//! copy.
+
+use crate::error::{WireError, WireResult};
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Maximum connection ID length in QUIC v1 (RFC 9000 §17.2).
+pub const MAX_CID_LEN: usize = 20;
+
+/// A QUIC connection identifier: an opaque byte string of 0..=20 bytes.
+///
+/// Stored inline to keep packet metadata allocation-free; the telescope
+/// pipeline creates millions of these.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnectionId {
+    len: u8,
+    bytes: [u8; MAX_CID_LEN],
+}
+
+impl ConnectionId {
+    /// The zero-length connection ID.
+    ///
+    /// Backscatter observed by the telescope carries DCID length 0 (the
+    /// attacker never echoed a server-chosen CID), which §5.2 of the paper
+    /// uses as a validity check.
+    pub const EMPTY: ConnectionId = ConnectionId {
+        len: 0,
+        bytes: [0; MAX_CID_LEN],
+    };
+
+    /// Creates a connection ID from a slice.
+    ///
+    /// # Errors
+    /// [`WireError::CidTooLong`] if `data.len() > 20`.
+    pub fn new(data: &[u8]) -> WireResult<Self> {
+        if data.len() > MAX_CID_LEN {
+            return Err(WireError::CidTooLong(data.len()));
+        }
+        let mut bytes = [0u8; MAX_CID_LEN];
+        bytes[..data.len()].copy_from_slice(data);
+        Ok(ConnectionId {
+            len: data.len() as u8,
+            bytes,
+        })
+    }
+
+    /// Builds a connection ID from a `u64`, producing the 8-byte
+    /// big-endian representation. Handy for deterministic test fixtures
+    /// and for the traffic generator's sequential SCID allocation.
+    pub fn from_u64(value: u64) -> Self {
+        Self::new(&value.to_be_bytes()).expect("8 <= 20")
+    }
+
+    /// The identifier bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Length in bytes (0..=20).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this is the zero-length connection ID.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `len || bytes` (the long-header representation).
+    pub fn encode_with_len<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.len);
+        buf.put_slice(self.as_slice());
+    }
+
+    /// Reads `len || bytes` as written by [`encode_with_len`].
+    ///
+    /// [`encode_with_len`]: ConnectionId::encode_with_len
+    ///
+    /// # Errors
+    /// [`WireError::CidTooLong`] for lengths above 20,
+    /// [`WireError::UnexpectedEnd`] on truncated input.
+    pub fn decode_with_len<B: Buf>(buf: &mut B) -> WireResult<Self> {
+        if buf.remaining() < 1 {
+            return Err(WireError::UnexpectedEnd { what: "cid length" });
+        }
+        let len = buf.get_u8() as usize;
+        if len > MAX_CID_LEN {
+            return Err(WireError::CidTooLong(len));
+        }
+        if buf.remaining() < len {
+            return Err(WireError::UnexpectedEnd { what: "cid bytes" });
+        }
+        let mut bytes = [0u8; MAX_CID_LEN];
+        buf.copy_to_slice(&mut bytes[..len]);
+        Ok(ConnectionId {
+            len: len as u8,
+            bytes,
+        })
+    }
+}
+
+impl ConnectionId {
+    fn fmt_hex(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "cid:empty");
+        }
+        write!(f, "cid:")?;
+        for b in self.as_slice() {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_hex(f)
+    }
+}
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_hex(f)
+    }
+}
+
+impl serde::Serialize for ConnectionId {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_bytes(self.as_slice())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ConnectionId {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let v: Vec<u8> = serde::Deserialize::deserialize(de)?;
+        ConnectionId::new(&v)
+            .map_err(|_| serde::de::Error::invalid_length(v.len(), &"at most 20 bytes"))
+    }
+}
+
+impl AsRef<[u8]> for ConnectionId {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for ConnectionId {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let cid = ConnectionId::new(&[1, 2, 3]).unwrap();
+        assert_eq!(cid.len(), 3);
+        assert!(!cid.is_empty());
+        assert_eq!(cid.as_slice(), &[1, 2, 3]);
+        assert_eq!(cid.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_cid() {
+        assert_eq!(ConnectionId::EMPTY.len(), 0);
+        assert!(ConnectionId::EMPTY.is_empty());
+        assert_eq!(ConnectionId::default(), ConnectionId::EMPTY);
+        assert_eq!(ConnectionId::EMPTY.to_string(), "cid:empty");
+    }
+
+    #[test]
+    fn max_length_accepted_21_rejected() {
+        assert!(ConnectionId::new(&[0u8; 20]).is_ok());
+        assert_eq!(
+            ConnectionId::new(&[0u8; 21]),
+            Err(WireError::CidTooLong(21))
+        );
+    }
+
+    #[test]
+    fn from_u64_is_big_endian() {
+        let cid = ConnectionId::from_u64(0x0102_0304_0506_0708);
+        assert_eq!(cid.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn display_renders_hex() {
+        let cid = ConnectionId::new(&[0xde, 0xad]).unwrap();
+        assert_eq!(cid.to_string(), "cid:dead");
+        assert_eq!(format!("{cid:?}"), "cid:dead");
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let cid = ConnectionId::new(&[9, 8, 7, 6]).unwrap();
+        let mut buf = Vec::new();
+        cid.encode_with_len(&mut buf);
+        assert_eq!(buf, vec![4, 9, 8, 7, 6]);
+        let mut slice = &buf[..];
+        assert_eq!(ConnectionId::decode_with_len(&mut slice).unwrap(), cid);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_oversized_length_byte() {
+        let mut slice: &[u8] = &[21, 0, 0];
+        assert_eq!(
+            ConnectionId::decode_with_len(&mut slice),
+            Err(WireError::CidTooLong(21))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut slice: &[u8] = &[4, 1, 2];
+        assert!(matches!(
+            ConnectionId::decode_with_len(&mut slice),
+            Err(WireError::UnexpectedEnd { .. })
+        ));
+        let mut empty: &[u8] = &[];
+        assert!(ConnectionId::decode_with_len(&mut empty).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_slack_bytes() {
+        // Two CIDs with identical prefixes but built from different
+        // backing arrays must compare equal.
+        let a = ConnectionId::new(&[1, 2]).unwrap();
+        let longer = ConnectionId::new(&[1, 2, 3]).unwrap();
+        let b = ConnectionId::new(&longer.as_slice()[..2]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..=20)) {
+            let cid = ConnectionId::new(&data).unwrap();
+            let mut buf = Vec::new();
+            cid.encode_with_len(&mut buf);
+            let mut slice = &buf[..];
+            let back = ConnectionId::decode_with_len(&mut slice).unwrap();
+            prop_assert_eq!(cid, back);
+            prop_assert_eq!(back.as_slice(), &data[..]);
+        }
+
+        #[test]
+        fn prop_ordering_matches_byte_ordering(
+            a in proptest::collection::vec(any::<u8>(), 0..=20),
+            b in proptest::collection::vec(any::<u8>(), 0..=20),
+        ) {
+            let ca = ConnectionId::new(&a).unwrap();
+            let cb = ConnectionId::new(&b).unwrap();
+            // Equal slices must produce equal CIDs; inequality must be
+            // consistent with slice equality.
+            prop_assert_eq!(ca == cb, a == b);
+        }
+    }
+}

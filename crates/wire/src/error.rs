@@ -1,0 +1,114 @@
+//! Error type shared by all wire-format codecs.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding QUIC wire data.
+///
+/// The dissector in `quicsand-dissect` treats any of these as "not QUIC"
+/// (or "malformed QUIC"), mirroring how Wireshark marks packets it cannot
+/// dissect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before a complete field could be read.
+    UnexpectedEnd {
+        /// What was being parsed when the input ran out.
+        what: &'static str,
+    },
+    /// A varint used a reserved or inconsistent encoding.
+    InvalidVarint,
+    /// A connection ID length field exceeded the 20-byte maximum.
+    CidTooLong(usize),
+    /// The fixed bit (0x40) required by RFC 9000 §17 was not set.
+    FixedBitUnset,
+    /// A long-header packet carried an unknown packet type.
+    UnknownPacketType(u8),
+    /// The version field contained a value we do not implement.
+    UnsupportedVersion(u32),
+    /// A frame type we do not implement (or a reserved encoding).
+    UnknownFrameType(u64),
+    /// A field held a value outside its legal range.
+    InvalidValue {
+        /// Which field was out of range.
+        what: &'static str,
+    },
+    /// A length prefix pointed past the end of the datagram.
+    LengthOutOfBounds {
+        /// Claimed length.
+        claimed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The retry integrity tag did not verify.
+    RetryIntegrityFailure,
+    /// An AEAD seal/open failed (toy AEAD: tag mismatch).
+    AeadFailure,
+    /// A retry token failed validation.
+    InvalidToken,
+    /// TLS handshake message was malformed.
+    MalformedTls(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd { what } => {
+                write!(f, "unexpected end of input while parsing {what}")
+            }
+            WireError::InvalidVarint => write!(f, "invalid variable-length integer"),
+            WireError::CidTooLong(n) => {
+                write!(f, "connection id length {n} exceeds 20-byte maximum")
+            }
+            WireError::FixedBitUnset => write!(f, "fixed bit not set in packet first byte"),
+            WireError::UnknownPacketType(t) => write!(f, "unknown long packet type {t:#x}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported QUIC version {v:#010x}"),
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t:#x}"),
+            WireError::InvalidValue { what } => write!(f, "invalid value for {what}"),
+            WireError::LengthOutOfBounds { claimed, available } => write!(
+                f,
+                "length field claims {claimed} bytes but only {available} available"
+            ),
+            WireError::RetryIntegrityFailure => write!(f, "retry integrity tag mismatch"),
+            WireError::AeadFailure => write!(f, "aead authentication failure"),
+            WireError::InvalidToken => write!(f, "retry token validation failed"),
+            WireError::MalformedTls(what) => write!(f, "malformed tls message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used across the codec modules.
+pub type WireResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_humane() {
+        let e = WireError::LengthOutOfBounds {
+            claimed: 100,
+            available: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "length field claims 100 bytes but only 3 available"
+        );
+        assert_eq!(
+            WireError::UnexpectedEnd { what: "scid" }.to_string(),
+            "unexpected end of input while parsing scid"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::InvalidVarint, WireError::InvalidVarint);
+        assert_ne!(WireError::InvalidVarint, WireError::FixedBitUnset);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(WireError::AeadFailure);
+        assert!(e.to_string().contains("aead"));
+    }
+}

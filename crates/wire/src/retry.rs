@@ -1,0 +1,107 @@
+//! Retry integrity tag (RFC 9001 §5.8 structure).
+//!
+//! A Retry packet carries a 16-byte tag computed over the *pseudo-packet*
+//! — the client's original DCID prepended to the Retry packet itself —
+//! under a fixed, published, per-version key. The tag does not provide
+//! secrecy; it lets a client discard Retry packets from off-path
+//! attackers who never saw the original DCID. We reproduce the
+//! construction with SipHash (DESIGN.md §2).
+
+use crate::cid::ConnectionId;
+use crate::error::{WireError, WireResult};
+use crate::siphash::{siphash24_128, SipKey};
+use crate::version::Version;
+
+/// Length of the retry integrity tag.
+pub const RETRY_TAG_LEN: usize = 16;
+
+/// The fixed per-version key (public by design, as in RFC 9001).
+fn retry_key(version: Version) -> SipKey {
+    SipKey {
+        k0: 0xbe0c_690b_9f66_575a ^ u64::from(version.to_wire()),
+        k1: 0x1e52_89e4_a0fd_8b2c,
+    }
+}
+
+/// Computes the retry integrity tag for a Retry packet.
+///
+/// `retry_packet_prefix` is the encoded Retry packet *without* the tag
+/// (first byte through the token); `original_dcid` is the DCID from the
+/// client's triggering Initial.
+pub fn compute_retry_tag(
+    version: Version,
+    original_dcid: &ConnectionId,
+    retry_packet_prefix: &[u8],
+) -> [u8; RETRY_TAG_LEN] {
+    let mut pseudo = Vec::with_capacity(1 + original_dcid.len() + retry_packet_prefix.len());
+    pseudo.push(original_dcid.len() as u8);
+    pseudo.extend_from_slice(original_dcid.as_slice());
+    pseudo.extend_from_slice(retry_packet_prefix);
+    siphash24_128(retry_key(version), &pseudo)
+}
+
+/// Verifies the tag of a received Retry packet.
+///
+/// # Errors
+/// [`WireError::RetryIntegrityFailure`] on mismatch.
+pub fn verify_retry_tag(
+    version: Version,
+    original_dcid: &ConnectionId,
+    retry_packet_prefix: &[u8],
+    tag: &[u8],
+) -> WireResult<()> {
+    if tag.len() != RETRY_TAG_LEN
+        || compute_retry_tag(version, original_dcid, retry_packet_prefix) != tag
+    {
+        return Err(WireError::RetryIntegrityFailure);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn odcid() -> ConnectionId {
+        ConnectionId::new(&[8, 7, 6, 5]).unwrap()
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let prefix = b"retry packet bytes";
+        let tag = compute_retry_tag(Version::V1, &odcid(), prefix);
+        assert!(verify_retry_tag(Version::V1, &odcid(), prefix, &tag).is_ok());
+    }
+
+    #[test]
+    fn wrong_odcid_fails() {
+        // Off-path attacker scenario: without the original DCID the tag
+        // cannot be produced.
+        let prefix = b"retry packet bytes";
+        let tag = compute_retry_tag(Version::V1, &odcid(), prefix);
+        let other = ConnectionId::new(&[1, 1, 1, 1]).unwrap();
+        assert_eq!(
+            verify_retry_tag(Version::V1, &other, prefix, &tag),
+            Err(WireError::RetryIntegrityFailure)
+        );
+    }
+
+    #[test]
+    fn wrong_version_fails() {
+        let prefix = b"retry packet bytes";
+        let tag = compute_retry_tag(Version::V1, &odcid(), prefix);
+        assert!(verify_retry_tag(Version::Draft29, &odcid(), prefix, &tag).is_err());
+    }
+
+    #[test]
+    fn tampered_prefix_fails() {
+        let tag = compute_retry_tag(Version::V1, &odcid(), b"retry");
+        assert!(verify_retry_tag(Version::V1, &odcid(), b"retrY", &tag).is_err());
+    }
+
+    #[test]
+    fn short_tag_fails() {
+        assert!(verify_retry_tag(Version::V1, &odcid(), b"x", &[0u8; 15]).is_err());
+        assert!(verify_retry_tag(Version::V1, &odcid(), b"x", &[]).is_err());
+    }
+}

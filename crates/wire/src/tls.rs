@@ -1,0 +1,673 @@
+//! Structural TLS 1.3 handshake messages (RFC 8446 framing).
+//!
+//! QUIC carries the TLS handshake in CRYPTO frames. The paper's analyses
+//! depend on TLS only structurally:
+//!
+//! * message *sizes* drive the amplification accounting (client Initials
+//!   padded to ≥1200 bytes; server replies ≈ certificate chain size,
+//!   §3 "reflective amplification attacks"),
+//! * the §6 backscatter-validity check keys on "Initial messages that do
+//!   not contain an (unencrypted) TLS Client Hello",
+//! * RETRY (Table 1) needs the ClientHello to be replayable.
+//!
+//! The module therefore implements RFC 8446 handshake *framing* —
+//! `msg_type(1) || length(24) || body` with real extension encodings for
+//! SNI, ALPN, supported_versions and key_share — around opaque random and
+//! key material. No actual key exchange is performed; see DESIGN.md §2.
+
+use crate::error::{WireError, WireResult};
+use bytes::{Buf, BufMut, Bytes};
+
+/// TLS handshake message types we model (RFC 8446 §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandshakeType {
+    /// ClientHello (1).
+    ClientHello,
+    /// ServerHello (2).
+    ServerHello,
+    /// EncryptedExtensions (8).
+    EncryptedExtensions,
+    /// Certificate (11).
+    Certificate,
+    /// CertificateVerify (15).
+    CertificateVerify,
+    /// Finished (20).
+    Finished,
+}
+
+impl HandshakeType {
+    /// The wire code point.
+    pub fn code(self) -> u8 {
+        match self {
+            HandshakeType::ClientHello => 1,
+            HandshakeType::ServerHello => 2,
+            HandshakeType::EncryptedExtensions => 8,
+            HandshakeType::Certificate => 11,
+            HandshakeType::CertificateVerify => 15,
+            HandshakeType::Finished => 20,
+        }
+    }
+
+    /// Parses a wire code point.
+    pub fn from_code(code: u8) -> WireResult<Self> {
+        Ok(match code {
+            1 => HandshakeType::ClientHello,
+            2 => HandshakeType::ServerHello,
+            8 => HandshakeType::EncryptedExtensions,
+            11 => HandshakeType::Certificate,
+            15 => HandshakeType::CertificateVerify,
+            20 => HandshakeType::Finished,
+            _ => return Err(WireError::MalformedTls("unknown handshake type")),
+        })
+    }
+}
+
+/// TLS extension code points used in the model.
+mod ext {
+    pub const SERVER_NAME: u16 = 0;
+    pub const ALPN: u16 = 16;
+    pub const SUPPORTED_VERSIONS: u16 = 43;
+    pub const KEY_SHARE: u16 = 51;
+}
+
+/// TLS 1.3 cipher suites (RFC 8446 §B.4).
+pub mod cipher_suite {
+    /// TLS_AES_128_GCM_SHA256.
+    pub const AES_128_GCM_SHA256: u16 = 0x1301;
+    /// TLS_AES_256_GCM_SHA384.
+    pub const AES_256_GCM_SHA384: u16 = 0x1302;
+    /// TLS_CHACHA20_POLY1305_SHA256.
+    pub const CHACHA20_POLY1305_SHA256: u16 = 0x1303;
+}
+
+/// A structural TLS 1.3 ClientHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// 32 bytes of client randomness.
+    pub random: [u8; 32],
+    /// Offered cipher suites (non-empty).
+    pub cipher_suites: Vec<u16>,
+    /// Server name indication, e.g. `www.google.com`.
+    pub server_name: Option<String>,
+    /// ALPN protocols, e.g. `h3`, `h3-29`.
+    pub alpn: Vec<String>,
+    /// Opaque X25519-like key share (32 bytes in practice).
+    pub key_share: Bytes,
+}
+
+impl ClientHello {
+    /// Encodes the full handshake message (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(256);
+        body.put_u16(0x0303); // legacy_version = TLS 1.2
+        body.put_slice(&self.random);
+        body.put_u8(0); // empty legacy_session_id
+        body.put_u16((self.cipher_suites.len() * 2) as u16);
+        for cs in &self.cipher_suites {
+            body.put_u16(*cs);
+        }
+        body.put_u8(1); // legacy_compression_methods
+        body.put_u8(0); // null compression
+
+        let mut exts = Vec::with_capacity(128);
+        if let Some(name) = &self.server_name {
+            let mut data = Vec::with_capacity(name.len() + 5);
+            data.put_u16((name.len() + 3) as u16); // server_name_list length
+            data.put_u8(0); // name_type host_name
+            data.put_u16(name.len() as u16);
+            data.put_slice(name.as_bytes());
+            put_extension(&mut exts, ext::SERVER_NAME, &data);
+        }
+        if !self.alpn.is_empty() {
+            let mut list = Vec::new();
+            for proto in &self.alpn {
+                list.put_u8(proto.len() as u8);
+                list.put_slice(proto.as_bytes());
+            }
+            let mut data = Vec::with_capacity(list.len() + 2);
+            data.put_u16(list.len() as u16);
+            data.put_slice(&list);
+            put_extension(&mut exts, ext::ALPN, &data);
+        }
+        // supported_versions: TLS 1.3 only.
+        put_extension(&mut exts, ext::SUPPORTED_VERSIONS, &[2, 0x03, 0x04]);
+        // key_share: one entry, group x25519 (0x001d).
+        let mut ks = Vec::with_capacity(self.key_share.len() + 6);
+        ks.put_u16((self.key_share.len() + 4) as u16);
+        ks.put_u16(0x001d);
+        ks.put_u16(self.key_share.len() as u16);
+        ks.put_slice(&self.key_share);
+        put_extension(&mut exts, ext::KEY_SHARE, &ks);
+
+        body.put_u16(exts.len() as u16);
+        body.put_slice(&exts);
+
+        frame_handshake(HandshakeType::ClientHello, &body)
+    }
+
+    /// Decodes a ClientHello from a full handshake message.
+    ///
+    /// # Errors
+    /// [`WireError::MalformedTls`] describing the first malformation.
+    pub fn decode(data: &[u8]) -> WireResult<Self> {
+        let (ty, mut body) = unframe_handshake(data)?;
+        if ty != HandshakeType::ClientHello {
+            return Err(WireError::MalformedTls("not a client hello"));
+        }
+        if body.remaining() < 2 + 32 + 1 {
+            return Err(WireError::MalformedTls("client hello too short"));
+        }
+        let _legacy_version = body.get_u16();
+        let mut random = [0u8; 32];
+        body.copy_to_slice(&mut random);
+        let session_len = body.get_u8() as usize;
+        if body.remaining() < session_len {
+            return Err(WireError::MalformedTls("session id truncated"));
+        }
+        body.advance(session_len);
+        if body.remaining() < 2 {
+            return Err(WireError::MalformedTls("cipher suites length"));
+        }
+        let cs_len = body.get_u16() as usize;
+        if !cs_len.is_multiple_of(2) || body.remaining() < cs_len || cs_len == 0 {
+            return Err(WireError::MalformedTls("cipher suites"));
+        }
+        let mut cipher_suites = Vec::with_capacity(cs_len / 2);
+        for _ in 0..cs_len / 2 {
+            cipher_suites.push(body.get_u16());
+        }
+        if body.remaining() < 1 {
+            return Err(WireError::MalformedTls("compression methods"));
+        }
+        let comp_len = body.get_u8() as usize;
+        if body.remaining() < comp_len {
+            return Err(WireError::MalformedTls("compression methods truncated"));
+        }
+        body.advance(comp_len);
+
+        let mut server_name = None;
+        let mut alpn = Vec::new();
+        let mut key_share = Bytes::new();
+        for_each_extension(&mut body, |ext_ty, mut data| {
+            match ext_ty {
+                ext::SERVER_NAME => {
+                    if data.remaining() < 5 {
+                        return Err(WireError::MalformedTls("sni"));
+                    }
+                    let _list_len = data.get_u16();
+                    let _name_type = data.get_u8();
+                    let name_len = data.get_u16() as usize;
+                    if data.remaining() < name_len {
+                        return Err(WireError::MalformedTls("sni name"));
+                    }
+                    let name_bytes = data.copy_to_bytes(name_len);
+                    server_name = Some(
+                        String::from_utf8(name_bytes.to_vec())
+                            .map_err(|_| WireError::MalformedTls("sni utf8"))?,
+                    );
+                }
+                ext::ALPN => {
+                    if data.remaining() < 2 {
+                        return Err(WireError::MalformedTls("alpn"));
+                    }
+                    let list_len = data.get_u16() as usize;
+                    if data.remaining() < list_len {
+                        return Err(WireError::MalformedTls("alpn list"));
+                    }
+                    let mut list = data.copy_to_bytes(list_len);
+                    while list.remaining() > 0 {
+                        let len = list.get_u8() as usize;
+                        if list.remaining() < len {
+                            return Err(WireError::MalformedTls("alpn entry"));
+                        }
+                        let proto = list.copy_to_bytes(len);
+                        alpn.push(
+                            String::from_utf8(proto.to_vec())
+                                .map_err(|_| WireError::MalformedTls("alpn utf8"))?,
+                        );
+                    }
+                }
+                ext::KEY_SHARE => {
+                    if data.remaining() < 6 {
+                        return Err(WireError::MalformedTls("key share"));
+                    }
+                    let _list_len = data.get_u16();
+                    let _group = data.get_u16();
+                    let key_len = data.get_u16() as usize;
+                    if data.remaining() < key_len {
+                        return Err(WireError::MalformedTls("key share data"));
+                    }
+                    key_share = data.copy_to_bytes(key_len);
+                }
+                _ => {}
+            }
+            Ok(())
+        })?;
+
+        Ok(ClientHello {
+            random,
+            cipher_suites,
+            server_name,
+            alpn,
+            key_share,
+        })
+    }
+}
+
+/// A structural TLS 1.3 ServerHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// 32 bytes of server randomness.
+    pub random: [u8; 32],
+    /// The selected cipher suite.
+    pub cipher_suite: u16,
+    /// The server's key share.
+    pub key_share: Bytes,
+}
+
+impl ServerHello {
+    /// Encodes the full handshake message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(128);
+        body.put_u16(0x0303);
+        body.put_slice(&self.random);
+        body.put_u8(0); // empty legacy_session_id_echo
+        body.put_u16(self.cipher_suite);
+        body.put_u8(0); // legacy_compression_method
+
+        let mut exts = Vec::with_capacity(64);
+        put_extension(&mut exts, ext::SUPPORTED_VERSIONS, &[0x03, 0x04]);
+        let mut ks = Vec::with_capacity(self.key_share.len() + 4);
+        ks.put_u16(0x001d);
+        ks.put_u16(self.key_share.len() as u16);
+        ks.put_slice(&self.key_share);
+        put_extension(&mut exts, ext::KEY_SHARE, &ks);
+
+        body.put_u16(exts.len() as u16);
+        body.put_slice(&exts);
+        frame_handshake(HandshakeType::ServerHello, &body)
+    }
+
+    /// Decodes a ServerHello from a full handshake message.
+    ///
+    /// # Errors
+    /// [`WireError::MalformedTls`] on malformation.
+    pub fn decode(data: &[u8]) -> WireResult<Self> {
+        let (ty, mut body) = unframe_handshake(data)?;
+        if ty != HandshakeType::ServerHello {
+            return Err(WireError::MalformedTls("not a server hello"));
+        }
+        if body.remaining() < 2 + 32 + 1 {
+            return Err(WireError::MalformedTls("server hello too short"));
+        }
+        let _legacy_version = body.get_u16();
+        let mut random = [0u8; 32];
+        body.copy_to_slice(&mut random);
+        let session_len = body.get_u8() as usize;
+        if body.remaining() < session_len + 3 {
+            return Err(WireError::MalformedTls("server hello truncated"));
+        }
+        body.advance(session_len);
+        let cipher_suite = body.get_u16();
+        let _compression = body.get_u8();
+
+        let mut key_share = Bytes::new();
+        for_each_extension(&mut body, |ext_ty, mut data| {
+            if ext_ty == ext::KEY_SHARE {
+                if data.remaining() < 4 {
+                    return Err(WireError::MalformedTls("key share"));
+                }
+                let _group = data.get_u16();
+                let key_len = data.get_u16() as usize;
+                if data.remaining() < key_len {
+                    return Err(WireError::MalformedTls("key share data"));
+                }
+                key_share = data.copy_to_bytes(key_len);
+            }
+            Ok(())
+        })?;
+
+        Ok(ServerHello {
+            random,
+            cipher_suite,
+            key_share,
+        })
+    }
+}
+
+/// A certificate chain: opaque DER blobs. The sizes matter (they set the
+/// server's Initial+Handshake flight size and hence the 3× amplification
+/// headroom); the contents do not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The certificate entries, leaf first.
+    pub chain: Vec<Bytes>,
+}
+
+impl Certificate {
+    /// Encodes the full handshake message (RFC 8446 §4.4.2, without
+    /// per-entry extensions).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut list = Vec::new();
+        for cert in &self.chain {
+            put_u24(&mut list, cert.len() as u32);
+            list.put_slice(cert);
+            list.put_u16(0); // no extensions
+        }
+        let mut body = Vec::with_capacity(list.len() + 8);
+        body.put_u8(0); // empty certificate_request_context
+        put_u24(&mut body, list.len() as u32);
+        body.put_slice(&list);
+        frame_handshake(HandshakeType::Certificate, &body)
+    }
+
+    /// Decodes a Certificate message.
+    ///
+    /// # Errors
+    /// [`WireError::MalformedTls`] on malformation.
+    pub fn decode(data: &[u8]) -> WireResult<Self> {
+        let (ty, mut body) = unframe_handshake(data)?;
+        if ty != HandshakeType::Certificate {
+            return Err(WireError::MalformedTls("not a certificate"));
+        }
+        if body.remaining() < 4 {
+            return Err(WireError::MalformedTls("certificate too short"));
+        }
+        let ctx_len = body.get_u8() as usize;
+        if body.remaining() < ctx_len {
+            return Err(WireError::MalformedTls("certificate context"));
+        }
+        body.advance(ctx_len);
+        let list_len = get_u24(&mut body)? as usize;
+        if body.remaining() < list_len {
+            return Err(WireError::MalformedTls("certificate list"));
+        }
+        let mut list = body.copy_to_bytes(list_len);
+        let mut chain = Vec::new();
+        while list.remaining() > 0 {
+            let cert_len = get_u24(&mut list)? as usize;
+            if list.remaining() < cert_len {
+                return Err(WireError::MalformedTls("certificate entry"));
+            }
+            chain.push(list.copy_to_bytes(cert_len));
+            if list.remaining() < 2 {
+                return Err(WireError::MalformedTls("certificate extensions"));
+            }
+            let ext_len = list.get_u16() as usize;
+            if list.remaining() < ext_len {
+                return Err(WireError::MalformedTls("certificate extensions data"));
+            }
+            list.advance(ext_len);
+        }
+        Ok(Certificate { chain })
+    }
+}
+
+/// A Finished message: opaque verify data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finished {
+    /// HMAC over the transcript (32 bytes for SHA-256 suites).
+    pub verify_data: Bytes,
+}
+
+impl Finished {
+    /// Encodes the full handshake message.
+    pub fn encode(&self) -> Vec<u8> {
+        frame_handshake(HandshakeType::Finished, &self.verify_data)
+    }
+
+    /// Decodes a Finished message.
+    ///
+    /// # Errors
+    /// [`WireError::MalformedTls`] on malformation.
+    pub fn decode(data: &[u8]) -> WireResult<Self> {
+        let (ty, body) = unframe_handshake(data)?;
+        if ty != HandshakeType::Finished {
+            return Err(WireError::MalformedTls("not finished"));
+        }
+        Ok(Finished {
+            verify_data: Bytes::copy_from_slice(body),
+        })
+    }
+}
+
+/// Returns the handshake type of a framed message without full decoding —
+/// this is what the dissector uses for the §6 "Initial without a Client
+/// Hello" heuristic.
+pub fn peek_handshake_type(data: &[u8]) -> WireResult<HandshakeType> {
+    if data.len() < 4 {
+        return Err(WireError::MalformedTls("handshake header"));
+    }
+    HandshakeType::from_code(data[0])
+}
+
+fn frame_handshake(ty: HandshakeType, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 4);
+    out.put_u8(ty.code());
+    put_u24(&mut out, body.len() as u32);
+    out.put_slice(body);
+    out
+}
+
+fn unframe_handshake(data: &[u8]) -> WireResult<(HandshakeType, &[u8])> {
+    if data.len() < 4 {
+        return Err(WireError::MalformedTls("handshake header"));
+    }
+    let ty = HandshakeType::from_code(data[0])?;
+    let len = ((data[1] as usize) << 16) | ((data[2] as usize) << 8) | data[3] as usize;
+    if data.len() < 4 + len {
+        return Err(WireError::MalformedTls("handshake body truncated"));
+    }
+    Ok((ty, &data[4..4 + len]))
+}
+
+fn put_u24(buf: &mut Vec<u8>, value: u32) {
+    buf.push((value >> 16) as u8);
+    buf.push((value >> 8) as u8);
+    buf.push(value as u8);
+}
+
+fn get_u24<B: Buf>(buf: &mut B) -> WireResult<u32> {
+    if buf.remaining() < 3 {
+        return Err(WireError::MalformedTls("u24"));
+    }
+    Ok(((buf.get_u8() as u32) << 16) | ((buf.get_u8() as u32) << 8) | buf.get_u8() as u32)
+}
+
+fn put_extension(buf: &mut Vec<u8>, ty: u16, data: &[u8]) {
+    buf.put_u16(ty);
+    buf.put_u16(data.len() as u16);
+    buf.put_slice(data);
+}
+
+fn for_each_extension<B, F>(body: &mut B, mut f: F) -> WireResult<()>
+where
+    B: Buf,
+    F: FnMut(u16, Bytes) -> WireResult<()>,
+{
+    if body.remaining() < 2 {
+        return Err(WireError::MalformedTls("extensions length"));
+    }
+    let total = body.get_u16() as usize;
+    if body.remaining() < total {
+        return Err(WireError::MalformedTls("extensions truncated"));
+    }
+    let mut exts = body.copy_to_bytes(total);
+    while exts.remaining() > 0 {
+        if exts.remaining() < 4 {
+            return Err(WireError::MalformedTls("extension header"));
+        }
+        let ty = exts.get_u16();
+        let len = exts.get_u16() as usize;
+        if exts.remaining() < len {
+            return Err(WireError::MalformedTls("extension data"));
+        }
+        let data = exts.copy_to_bytes(len);
+        f(ty, data)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_client_hello() -> ClientHello {
+        ClientHello {
+            random: [7u8; 32],
+            cipher_suites: vec![
+                cipher_suite::AES_128_GCM_SHA256,
+                cipher_suite::CHACHA20_POLY1305_SHA256,
+            ],
+            server_name: Some("www.google.com".to_string()),
+            alpn: vec!["h3".to_string(), "h3-29".to_string()],
+            key_share: Bytes::from_static(&[0xaa; 32]),
+        }
+    }
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let ch = sample_client_hello();
+        let encoded = ch.encode();
+        assert_eq!(ClientHello::decode(&encoded).unwrap(), ch);
+    }
+
+    #[test]
+    fn client_hello_without_optional_fields() {
+        let ch = ClientHello {
+            random: [0u8; 32],
+            cipher_suites: vec![cipher_suite::AES_128_GCM_SHA256],
+            server_name: None,
+            alpn: vec![],
+            key_share: Bytes::new(),
+        };
+        let encoded = ch.encode();
+        assert_eq!(ClientHello::decode(&encoded).unwrap(), ch);
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let sh = ServerHello {
+            random: [3u8; 32],
+            cipher_suite: cipher_suite::AES_256_GCM_SHA384,
+            key_share: Bytes::from_static(&[0xbb; 32]),
+        };
+        let encoded = sh.encode();
+        assert_eq!(ServerHello::decode(&encoded).unwrap(), sh);
+    }
+
+    #[test]
+    fn certificate_roundtrip_and_size_dominates() {
+        let cert = Certificate {
+            chain: vec![Bytes::from(vec![1u8; 1200]), Bytes::from(vec![2u8; 900])],
+        };
+        let encoded = cert.encode();
+        assert!(encoded.len() > 2100, "chain bytes dominate the encoding");
+        assert_eq!(Certificate::decode(&encoded).unwrap(), cert);
+    }
+
+    #[test]
+    fn empty_certificate_chain() {
+        let cert = Certificate { chain: vec![] };
+        let encoded = cert.encode();
+        assert_eq!(Certificate::decode(&encoded).unwrap(), cert);
+    }
+
+    #[test]
+    fn finished_roundtrip() {
+        let fin = Finished {
+            verify_data: Bytes::from_static(&[9u8; 32]),
+        };
+        assert_eq!(Finished::decode(&fin.encode()).unwrap(), fin);
+    }
+
+    #[test]
+    fn peek_type_distinguishes_hellos() {
+        assert_eq!(
+            peek_handshake_type(&sample_client_hello().encode()).unwrap(),
+            HandshakeType::ClientHello
+        );
+        let sh = ServerHello {
+            random: [0; 32],
+            cipher_suite: cipher_suite::AES_128_GCM_SHA256,
+            key_share: Bytes::new(),
+        };
+        assert_eq!(
+            peek_handshake_type(&sh.encode()).unwrap(),
+            HandshakeType::ServerHello
+        );
+    }
+
+    #[test]
+    fn cross_type_decode_rejected() {
+        let ch = sample_client_hello().encode();
+        assert!(ServerHello::decode(&ch).is_err());
+        assert!(Certificate::decode(&ch).is_err());
+        assert!(Finished::decode(&ch).is_err());
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let encoded = sample_client_hello().encode();
+        for cut in [0, 1, 3, 10, encoded.len() - 1] {
+            assert!(
+                ClientHello::decode(&encoded[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn handshake_type_codes() {
+        for ty in [
+            HandshakeType::ClientHello,
+            HandshakeType::ServerHello,
+            HandshakeType::EncryptedExtensions,
+            HandshakeType::Certificate,
+            HandshakeType::CertificateVerify,
+            HandshakeType::Finished,
+        ] {
+            assert_eq!(HandshakeType::from_code(ty.code()).unwrap(), ty);
+        }
+        assert!(HandshakeType::from_code(99).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_client_hello_roundtrip(
+            random in any::<[u8; 32]>(),
+            n_suites in 1usize..5,
+            sni in proptest::option::of("[a-z]{1,20}\\.[a-z]{2,5}"),
+            key in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let ch = ClientHello {
+                random,
+                cipher_suites: (0..n_suites).map(|i| 0x1301 + i as u16).collect(),
+                server_name: sni,
+                alpn: vec!["h3".to_string()],
+                key_share: Bytes::from(key),
+            };
+            prop_assert_eq!(ClientHello::decode(&ch.encode()).unwrap(), ch);
+        }
+
+        #[test]
+        fn prop_certificate_roundtrip(
+            sizes in proptest::collection::vec(0usize..2000, 0..4),
+        ) {
+            let cert = Certificate {
+                chain: sizes.iter().map(|&s| Bytes::from(vec![0x5a; s])).collect(),
+            };
+            prop_assert_eq!(Certificate::decode(&cert.encode()).unwrap(), cert);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = ClientHello::decode(&data);
+            let _ = ServerHello::decode(&data);
+            let _ = Certificate::decode(&data);
+            let _ = Finished::decode(&data);
+            let _ = peek_handshake_type(&data);
+        }
+    }
+}

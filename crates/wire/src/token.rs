@@ -1,0 +1,240 @@
+//! Stateless retry tokens (RFC 9000 §8.1.2 structure).
+//!
+//! A RETRY-capable server must validate client addresses without keeping
+//! state — the entire point of the defence benchmarked in Table 1 of the
+//! paper. The token therefore encodes everything the server needs to
+//! resume: the client address, the original DCID (required to re-derive
+//! Initial keys and to prove the retry round-trip happened) and an issue
+//! timestamp, authenticated under a server-local key.
+//!
+//! Layout: `issued_at(8) || client_ip(4) || odcid_len(1) || odcid || tag(16)`.
+
+use crate::cid::ConnectionId;
+use crate::error::{WireError, WireResult};
+use crate::siphash::{siphash24_128, SipKey};
+
+/// Tag length appended to tokens.
+pub const TOKEN_TAG_LEN: usize = 16;
+
+/// Default token lifetime used by [`TokenMinter::validate`], in
+/// simulation seconds. Real deployments use similar small windows.
+pub const DEFAULT_TOKEN_LIFETIME_SECS: u64 = 30;
+
+/// A decoded, validated retry token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryTokenClaims {
+    /// When the token was issued (simulation seconds).
+    pub issued_at: u64,
+    /// The client IPv4 address the token was minted for.
+    pub client_ip: u32,
+    /// The original DCID from the client's first Initial.
+    pub original_dcid: ConnectionId,
+}
+
+/// Mints and validates stateless retry tokens under a server-local key.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenMinter {
+    key: SipKey,
+    lifetime_secs: u64,
+}
+
+impl TokenMinter {
+    /// Creates a minter with the given key and the default lifetime.
+    pub fn new(key: SipKey) -> Self {
+        TokenMinter {
+            key,
+            lifetime_secs: DEFAULT_TOKEN_LIFETIME_SECS,
+        }
+    }
+
+    /// Overrides the token lifetime.
+    pub fn with_lifetime(mut self, secs: u64) -> Self {
+        self.lifetime_secs = secs;
+        self
+    }
+
+    /// Mints a token binding `client_ip` and `original_dcid` at time
+    /// `now` (simulation seconds).
+    pub fn mint(&self, now: u64, client_ip: u32, original_dcid: &ConnectionId) -> Vec<u8> {
+        let mut token = Vec::with_capacity(13 + original_dcid.len() + TOKEN_TAG_LEN);
+        token.extend_from_slice(&now.to_le_bytes());
+        token.extend_from_slice(&client_ip.to_le_bytes());
+        token.push(original_dcid.len() as u8);
+        token.extend_from_slice(original_dcid.as_slice());
+        let tag = siphash24_128(self.key, &token);
+        token.extend_from_slice(&tag);
+        token
+    }
+
+    /// Validates a token presented by `client_ip` at time `now`.
+    ///
+    /// # Errors
+    /// [`WireError::InvalidToken`] if the token is malformed, forged,
+    /// expired, from the future, or bound to a different address.
+    pub fn validate(&self, token: &[u8], now: u64, client_ip: u32) -> WireResult<RetryTokenClaims> {
+        let claims = self.verify_integrity(token)?;
+        if claims.client_ip != client_ip {
+            return Err(WireError::InvalidToken);
+        }
+        if claims.issued_at > now {
+            return Err(WireError::InvalidToken);
+        }
+        if now - claims.issued_at > self.lifetime_secs {
+            return Err(WireError::InvalidToken);
+        }
+        Ok(claims)
+    }
+
+    /// Checks only the authenticity of a token, without freshness or
+    /// address checks. Useful for diagnostics.
+    ///
+    /// # Errors
+    /// [`WireError::InvalidToken`] on malformed or forged input.
+    pub fn verify_integrity(&self, token: &[u8]) -> WireResult<RetryTokenClaims> {
+        if token.len() < 13 + TOKEN_TAG_LEN {
+            return Err(WireError::InvalidToken);
+        }
+        let (body, tag) = token.split_at(token.len() - TOKEN_TAG_LEN);
+        if siphash24_128(self.key, body) != tag {
+            return Err(WireError::InvalidToken);
+        }
+        let issued_at = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+        let client_ip = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+        let odcid_len = body[12] as usize;
+        if body.len() != 13 + odcid_len {
+            return Err(WireError::InvalidToken);
+        }
+        let original_dcid =
+            ConnectionId::new(&body[13..13 + odcid_len]).map_err(|_| WireError::InvalidToken)?;
+        Ok(RetryTokenClaims {
+            issued_at,
+            client_ip,
+            original_dcid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn minter() -> TokenMinter {
+        TokenMinter::new(SipKey { k0: 11, k1: 22 })
+    }
+
+    fn odcid() -> ConnectionId {
+        ConnectionId::new(&[0xca, 0xfe, 0xba, 0xbe]).unwrap()
+    }
+
+    #[test]
+    fn mint_validate_roundtrip() {
+        let m = minter();
+        let token = m.mint(100, 0x0a00_0001, &odcid());
+        let claims = m.validate(&token, 110, 0x0a00_0001).unwrap();
+        assert_eq!(claims.issued_at, 100);
+        assert_eq!(claims.client_ip, 0x0a00_0001);
+        assert_eq!(claims.original_dcid, odcid());
+    }
+
+    #[test]
+    fn expired_token_rejected() {
+        let m = minter();
+        let token = m.mint(100, 1, &odcid());
+        assert!(m
+            .validate(&token, 100 + DEFAULT_TOKEN_LIFETIME_SECS, 1)
+            .is_ok());
+        assert_eq!(
+            m.validate(&token, 101 + DEFAULT_TOKEN_LIFETIME_SECS, 1),
+            Err(WireError::InvalidToken)
+        );
+    }
+
+    #[test]
+    fn future_token_rejected() {
+        let m = minter();
+        let token = m.mint(100, 1, &odcid());
+        assert_eq!(m.validate(&token, 99, 1), Err(WireError::InvalidToken));
+    }
+
+    #[test]
+    fn spoofed_address_rejected() {
+        // The core of the RETRY defence: a token minted for one source
+        // address is useless to a spoofer at another.
+        let m = minter();
+        let token = m.mint(100, 1, &odcid());
+        assert_eq!(m.validate(&token, 100, 2), Err(WireError::InvalidToken));
+    }
+
+    #[test]
+    fn forged_token_rejected() {
+        let m = minter();
+        let mut token = m.mint(100, 1, &odcid());
+        for pos in 0..token.len() {
+            token[pos] ^= 0x80;
+            assert!(
+                m.verify_integrity(&token).is_err(),
+                "flip at {pos} must invalidate"
+            );
+            token[pos] ^= 0x80;
+        }
+    }
+
+    #[test]
+    fn token_from_other_server_rejected() {
+        let m1 = minter();
+        let m2 = TokenMinter::new(SipKey { k0: 99, k1: 98 });
+        let token = m1.mint(100, 1, &odcid());
+        assert!(m2.validate(&token, 100, 1).is_err());
+    }
+
+    #[test]
+    fn short_inputs_rejected() {
+        let m = minter();
+        assert!(m.verify_integrity(&[]).is_err());
+        assert!(m.verify_integrity(&[0u8; 12]).is_err());
+        assert!(m.verify_integrity(&[0u8; 28]).is_err());
+    }
+
+    #[test]
+    fn custom_lifetime_respected() {
+        let m = minter().with_lifetime(5);
+        let token = m.mint(0, 1, &odcid());
+        assert!(m.validate(&token, 5, 1).is_ok());
+        assert!(m.validate(&token, 6, 1).is_err());
+    }
+
+    #[test]
+    fn empty_odcid_supported() {
+        let m = minter();
+        let token = m.mint(0, 1, &ConnectionId::EMPTY);
+        let claims = m.validate(&token, 0, 1).unwrap();
+        assert!(claims.original_dcid.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            now in 0u64..1_000_000,
+            ip in any::<u32>(),
+            odcid_bytes in proptest::collection::vec(any::<u8>(), 0..=20),
+        ) {
+            let m = minter();
+            let cid = ConnectionId::new(&odcid_bytes).unwrap();
+            let token = m.mint(now, ip, &cid);
+            let claims = m.validate(&token, now, ip).unwrap();
+            prop_assert_eq!(claims.issued_at, now);
+            prop_assert_eq!(claims.client_ip, ip);
+            prop_assert_eq!(claims.original_dcid, cid);
+        }
+
+        #[test]
+        fn prop_garbage_never_validates(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            // The chance of random data carrying a valid 128-bit tag is
+            // negligible; assert it deterministically for the sampled
+            // inputs.
+            let m = minter();
+            prop_assert!(m.verify_integrity(&data).is_err());
+        }
+    }
+}

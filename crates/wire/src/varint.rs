@@ -1,0 +1,225 @@
+//! RFC 9000 §16 variable-length integer encoding.
+//!
+//! QUIC encodes integers in 1, 2, 4 or 8 bytes; the two most significant
+//! bits of the first byte carry the length exponent. The usable range is
+//! 0..=2^62-1.
+
+use crate::error::{WireError, WireResult};
+use bytes::{Buf, BufMut};
+
+/// Largest value representable as a QUIC varint (2^62 - 1).
+pub const MAX_VARINT: u64 = (1 << 62) - 1;
+
+/// Returns the number of bytes [`write_varint`] will use for `value`.
+///
+/// Returns `None` if the value exceeds [`MAX_VARINT`].
+pub fn varint_len(value: u64) -> Option<usize> {
+    match value {
+        0..=0x3f => Some(1),
+        0x40..=0x3fff => Some(2),
+        0x4000..=0x3fff_ffff => Some(4),
+        0x4000_0000..=MAX_VARINT => Some(8),
+        _ => None,
+    }
+}
+
+/// Encodes `value` into `buf` using the minimal-length varint encoding.
+///
+/// # Errors
+/// [`WireError::InvalidValue`] if `value > MAX_VARINT`.
+pub fn write_varint<B: BufMut>(buf: &mut B, value: u64) -> WireResult<()> {
+    match varint_len(value) {
+        Some(1) => buf.put_u8(value as u8),
+        Some(2) => buf.put_u16((value as u16) | 0x4000),
+        Some(4) => buf.put_u32((value as u32) | 0x8000_0000),
+        Some(8) => buf.put_u64(value | 0xc000_0000_0000_0000),
+        _ => return Err(WireError::InvalidValue { what: "varint" }),
+    }
+    Ok(())
+}
+
+/// Decodes a varint from the front of `buf`, advancing it.
+///
+/// # Errors
+/// [`WireError::UnexpectedEnd`] if `buf` does not hold the complete
+/// encoding.
+pub fn read_varint<B: Buf>(buf: &mut B) -> WireResult<u64> {
+    if buf.remaining() < 1 {
+        return Err(WireError::UnexpectedEnd { what: "varint" });
+    }
+    let first = buf.chunk()[0];
+    let len = 1usize << (first >> 6);
+    if buf.remaining() < len {
+        return Err(WireError::UnexpectedEnd { what: "varint" });
+    }
+    let value = match len {
+        1 => u64::from(buf.get_u8() & 0x3f),
+        2 => u64::from(buf.get_u16() & 0x3fff),
+        4 => u64::from(buf.get_u32() & 0x3fff_ffff),
+        8 => buf.get_u64() & 0x3fff_ffff_ffff_ffff,
+        _ => unreachable!("len is 1, 2, 4 or 8"),
+    };
+    Ok(value)
+}
+
+/// Encodes `value` forcing a specific width (`1`, `2`, `4` or `8`).
+///
+/// QUIC permits non-minimal encodings; senders use them to reserve space
+/// (e.g. for the Length field of an Initial packet that is filled in after
+/// the payload is known).
+///
+/// # Errors
+/// [`WireError::InvalidValue`] if `value` does not fit in `width` bytes or
+/// `width` is not a legal varint width.
+pub fn write_varint_with_width<B: BufMut>(buf: &mut B, value: u64, width: usize) -> WireResult<()> {
+    let fits = match width {
+        1 => value <= 0x3f,
+        2 => value <= 0x3fff,
+        4 => value <= 0x3fff_ffff,
+        8 => value <= MAX_VARINT,
+        _ => false,
+    };
+    if !fits {
+        return Err(WireError::InvalidValue {
+            what: "varint width",
+        });
+    }
+    match width {
+        1 => buf.put_u8(value as u8),
+        2 => buf.put_u16((value as u16) | 0x4000),
+        4 => buf.put_u32((value as u32) | 0x8000_0000),
+        8 => buf.put_u64(value | 0xc000_0000_0000_0000),
+        _ => unreachable!("validated above"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(value: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, value).unwrap();
+        let mut slice = &buf[..];
+        read_varint(&mut slice).unwrap()
+    }
+
+    #[test]
+    fn rfc9000_appendix_a1_examples() {
+        // The four worked examples from RFC 9000 §A.1.
+        let cases: &[(u64, &[u8])] = &[
+            (
+                151_288_809_941_952_652,
+                &[0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c],
+            ),
+            (494_878_333, &[0x9d, 0x7f, 0x3e, 0x7d]),
+            (15_293, &[0x7b, 0xbd]),
+            (37, &[0x25]),
+        ];
+        for (value, encoding) in cases {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, *value).unwrap();
+            assert_eq!(&buf[..], *encoding, "encoding of {value}");
+            let mut slice = *encoding;
+            assert_eq!(read_varint(&mut slice).unwrap(), *value);
+        }
+    }
+
+    #[test]
+    fn boundaries() {
+        for v in [
+            0,
+            0x3f,
+            0x40,
+            0x3fff,
+            0x4000,
+            0x3fff_ffff,
+            0x4000_0000,
+            MAX_VARINT,
+        ] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn lengths_are_minimal() {
+        assert_eq!(varint_len(0), Some(1));
+        assert_eq!(varint_len(63), Some(1));
+        assert_eq!(varint_len(64), Some(2));
+        assert_eq!(varint_len(16383), Some(2));
+        assert_eq!(varint_len(16384), Some(4));
+        assert_eq!(varint_len(MAX_VARINT), Some(8));
+        assert_eq!(varint_len(MAX_VARINT + 1), None);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut buf = Vec::new();
+        assert_eq!(
+            write_varint(&mut buf, MAX_VARINT + 1),
+            Err(WireError::InvalidValue { what: "varint" })
+        );
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        // Two-byte encoding with only one byte present.
+        let mut slice: &[u8] = &[0x7b];
+        assert_eq!(
+            read_varint(&mut slice),
+            Err(WireError::UnexpectedEnd { what: "varint" })
+        );
+        let mut empty: &[u8] = &[];
+        assert!(read_varint(&mut empty).is_err());
+    }
+
+    #[test]
+    fn forced_width_roundtrips_and_consumes_width() {
+        for width in [1usize, 2, 4, 8] {
+            let mut buf = Vec::new();
+            write_varint_with_width(&mut buf, 17, width).unwrap();
+            assert_eq!(buf.len(), width);
+            let mut slice = &buf[..];
+            assert_eq!(read_varint(&mut slice).unwrap(), 17);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn forced_width_rejects_misfit() {
+        let mut buf = Vec::new();
+        assert!(write_varint_with_width(&mut buf, 0x40, 1).is_err());
+        assert!(write_varint_with_width(&mut buf, 0x4000, 2).is_err());
+        assert!(write_varint_with_width(&mut buf, 5, 3).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(value in 0..=MAX_VARINT) {
+            prop_assert_eq!(roundtrip(value), value);
+        }
+
+        #[test]
+        fn prop_encoding_is_minimal_length(value in 0..=MAX_VARINT) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value).unwrap();
+            prop_assert_eq!(buf.len(), varint_len(value).unwrap());
+        }
+
+        #[test]
+        fn prop_first_two_bits_encode_length(value in 0..=MAX_VARINT) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value).unwrap();
+            let expected_len = 1usize << (buf[0] >> 6);
+            prop_assert_eq!(buf.len(), expected_len);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let mut slice = &data[..];
+            let _ = read_varint(&mut slice);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! UDP flood lab: the server model and client driven over *real* UDP
+//! sockets on loopback.
+//!
+//! This is the paper's local testbed in miniature: a QUIC server behind
+//! a UDP socket, a replayed Initial flood, and a legitimate client that
+//! completes a real handshake over the wire — with RETRY on, the client
+//! transparently honours the Retry packet it receives.
+//!
+//! Everything stays on 127.0.0.1; no external traffic is generated.
+//!
+//! ```text
+//! cargo run --release --example udp_flood_lab
+//! ```
+
+use quicsand_net::Timestamp;
+use quicsand_server::client::QuicClient;
+use quicsand_server::model::{QuicServerSim, ServerConfig};
+use quicsand_server::replay::InitialStream;
+use std::net::{SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+/// Runs the server loop on `socket` until `stop` is set, feeding every
+/// datagram into the simulator and writing its responses back.
+fn serve(socket: UdpSocket, mut server: QuicServerSim, stop: Arc<AtomicBool>) -> QuicServerSim {
+    let mut buf = [0u8; 2048];
+    let start = Instant::now();
+    socket
+        .set_read_timeout(Some(StdDuration::from_millis(50)))
+        .expect("set timeout");
+    while !stop.load(Ordering::Relaxed) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, peer)) => {
+                let SocketAddr::V4(peer) = peer else { continue };
+                // Virtual time tracks wall time for token freshness.
+                let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
+                let responses = server.handle_datagram(now, *peer.ip(), peer.port(), &buf[..len]);
+                for response in responses {
+                    let _ = socket.send_to(&response.payload, SocketAddr::V4(peer));
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => panic!("server socket error: {e}"),
+        }
+    }
+    server
+}
+
+/// Drives a full client handshake over UDP; returns (established, rtts).
+fn connect(server_addr: SocketAddrV4, seed: u64) -> (bool, u32) {
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    socket
+        .set_read_timeout(Some(StdDuration::from_millis(500)))
+        .expect("set timeout");
+    let mut client = QuicClient::new(seed);
+    let mut out = client.initial_datagram();
+    let mut buf = [0u8; 2048];
+    for _ in 0..8 {
+        socket.send_to(&out, server_addr).expect("send");
+        let mut replied = false;
+        // Drain the flight; the server may send several datagrams.
+        while let Ok((len, _)) = socket.recv_from(&mut buf) {
+            if let Some(next) = client.handle_datagram(&buf[..len]) {
+                out = next;
+                replied = true;
+            }
+            if client.is_established() {
+                return (true, client.round_trips());
+            }
+        }
+        if !replied {
+            break;
+        }
+    }
+    (client.is_established(), client.round_trips())
+}
+
+fn run_regime(retry: bool, flood_packets: usize) {
+    let server_socket = UdpSocket::bind("127.0.0.1:0").expect("bind server");
+    let server_addr = match server_socket.local_addr().expect("addr") {
+        SocketAddr::V4(a) => a,
+        SocketAddr::V6(_) => unreachable!("bound v4"),
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = QuicServerSim::new(
+        ServerConfig {
+            workers: 2,
+            conns_per_worker: 64, // small table so the flood bites fast
+            ..ServerConfig::default()
+        }
+        .with_retry(retry),
+        9,
+    );
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || serve(server_socket, server, stop))
+    };
+
+    // Flood from a pool of sockets: loopback cannot spoof addresses,
+    // so distinct source *ports* stand in for the spoofed identities
+    // (the server keys connections on the 4-tuple either way).
+    let flooders: Vec<UdpSocket> = (0..160)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind flooder"))
+        .collect();
+    for (i, packet) in InitialStream::new(0xF100D).take(flood_packets).enumerate() {
+        flooders[i % flooders.len()]
+            .send_to(&packet.datagram, server_addr)
+            .expect("flood send");
+        if i % 64 == 63 {
+            // Pace the flood so the server's socket buffer keeps up.
+            std::thread::sleep(StdDuration::from_millis(2));
+        }
+    }
+    std::thread::sleep(StdDuration::from_millis(200));
+
+    // A legitimate client connects mid-flood.
+    let (established, rtts) = connect(server_addr, 0xC11E57);
+
+    stop.store(true, Ordering::Relaxed);
+    let server = handle.join().expect("server thread");
+    let stats = server.stats();
+    println!(
+        "RETRY {:<3}  flood {:>5} pkts  accepted {:>5}  retries {:>5}  table-drops {:>5}  legit client: {} in {} RTT(s)",
+        if retry { "on" } else { "off" },
+        flood_packets,
+        stats.accepted,
+        stats.retries_sent,
+        stats.dropped_table,
+        if established { "served" } else { "STARVED" },
+        rtts
+    );
+}
+
+fn main() {
+    println!("QUIC flood lab over real UDP loopback sockets\n");
+    for retry in [false, true] {
+        run_regime(retry, 2_000);
+    }
+    println!(
+        "\nWithout RETRY the spoof-flood fills the connection table and the real\n\
+         client is starved; with RETRY the flood elicits only stateless Retry\n\
+         packets (spoofed sources never echo the token) and the real client is\n\
+         served after one extra round trip."
+    );
+}

@@ -1,0 +1,28 @@
+//! # quicsand
+//!
+//! Umbrella crate for the QUICsand reproduction ("QUICsand: Quantifying
+//! QUIC Reconnaissance Scans and DoS Flooding Events", IMC 2021).
+//!
+//! Re-exports the workspace crates under one roof; see the `examples/`
+//! directory for runnable entry points:
+//!
+//! * `quickstart` — generate a telescope month and reproduce the key
+//!   findings in one run.
+//! * `scan_campaign` — dissect the scanning ecosystem (research bias,
+//!   diurnal bots, honeypot correlation).
+//! * `dos_forensics` — the DoS analyses: victims, intensities,
+//!   multi-vector structure.
+//! * `retry_defense` — Table 1 live: floods against the server model,
+//!   with and without RETRY, plus a legitimate client's experience.
+//! * `udp_flood_lab` — the same server and client driven over real UDP
+//!   sockets on loopback.
+
+pub use quicsand_core as core;
+pub use quicsand_dissect as dissect;
+pub use quicsand_intel as intel;
+pub use quicsand_net as net;
+pub use quicsand_server as server;
+pub use quicsand_sessions as sessions;
+pub use quicsand_telescope as telescope;
+pub use quicsand_traffic as traffic;
+pub use quicsand_wire as wire;

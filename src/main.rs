@@ -1,0 +1,313 @@
+//! `quicsand` — command-line front end for the QUICsand reproduction.
+//!
+//! ```text
+//! quicsand generate --out capture.qscp [--scale test|demo|paper] [--seed N]
+//! quicsand analyze <capture.qscp>
+//! quicsand replay --pps 1000 [--requests 300001] [--workers 4] [--retry|--adaptive 0.5]
+//! quicsand experiments [--scale test|demo|paper]
+//! ```
+
+use quicsand_core::{Analysis, AnalysisConfig};
+use quicsand_net::capture::{CaptureReader, CaptureWriter};
+use quicsand_sessions::multivector::MultiVectorClass;
+use quicsand_sessions::Cdf;
+use quicsand_traffic::{Scenario, ScenarioConfig};
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "experiments" => cmd_experiments(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+quicsand — QUIC scan & DoS-flood measurement toolkit (IMC'21 reproduction)
+
+USAGE:
+    quicsand generate --out <file.qscp> [--scale test|demo|paper] [--seed N]
+        Generate a synthetic telescope capture and write it to disk.
+
+    quicsand analyze <file.qscp>
+        Run the sessionization + DoS-inference pipeline on a capture.
+
+    quicsand replay --pps <rate> [--requests N] [--workers N]
+                    [--retry | --adaptive <occupancy>]
+        Flood the local QUIC server model (Table 1 style) and report
+        service availability.
+
+    quicsand export <file.qscp> --pcap <file.pcap>
+        Convert a capture to classic libpcap (raw-IP linktype) for
+        inspection in Wireshark.
+
+    quicsand experiments [--scale test|demo|paper]
+        Regenerate every paper table/figure and print the reports.";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn scale_config(args: &[String]) -> Result<ScenarioConfig, String> {
+    let mut config = match flag_value(args, "--scale").unwrap_or("test") {
+        "test" => ScenarioConfig::test(),
+        "demo" => {
+            // The demo preset mirrors quicsand-bench's.
+            ScenarioConfig {
+                days: 30,
+                research_packets_per_scan: 25_000,
+                request_sessions: 5_000,
+                quic_attacks: 800,
+                victim_pool: 110,
+                common_attacks: 2_400,
+                misconfig_sessions: 2_000,
+                garbage_udp443_packets: 500,
+                ..ScenarioConfig::paper_month()
+            }
+        }
+        "paper" => ScenarioConfig::paper_month(),
+        other => return Err(format!("unknown scale `{other}`")),
+    };
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed.parse().map_err(|_| format!("invalid seed `{seed}`"))?;
+    }
+    Ok(config)
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").ok_or("generate requires --out <file>")?;
+    let config = scale_config(args)?;
+    eprintln!(
+        "generating scenario (seed {:#x}, {} days)...",
+        config.seed, config.days
+    );
+    let scenario = Scenario::generate(&config);
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut writer =
+        CaptureWriter::new(BufWriter::new(file)).map_err(|e| format!("write header: {e}"))?;
+    for record in &scenario.records {
+        writer
+            .write(record)
+            .map_err(|e| format!("write record: {e}"))?;
+    }
+    writer.finish().map_err(|e| format!("flush: {e}"))?;
+    println!(
+        "wrote {} records to {out} ({} QUIC floods planted against {} victims)",
+        scenario.records.len(),
+        scenario.truth.plan.quic.len(),
+        scenario.truth.plan.victims.len()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("analyze requires a capture path")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader =
+        CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
+    let records: Result<Vec<_>, _> = reader.collect();
+    let records = records.map_err(|e| format!("read records: {e}"))?;
+    eprintln!("loaded {} records; running pipeline...", records.len());
+
+    // The world is rebuilt deterministically; AS/provider lookups for a
+    // *foreign* capture will classify unknown sources as `other`.
+    let config = scale_config(args)?;
+    let world = quicsand_intel::SyntheticInternet::build(&quicsand_intel::TopologyConfig {
+        seed: config.seed,
+        servers_per_provider: (config.victim_pool * 2).max(48),
+        ..quicsand_intel::TopologyConfig::default()
+    });
+    let scenario = Scenario {
+        world,
+        records,
+        truth: quicsand_traffic::GroundTruth {
+            plan: quicsand_traffic::floods::AttackPlan {
+                quic: vec![],
+                common: vec![],
+                victims: vec![],
+            },
+            research_packets: 0,
+            request_packets: 0,
+            response_packets: 0,
+            common_packets: 0,
+            garbage_packets: 0,
+        },
+        config,
+    };
+    let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+
+    let stats = &analysis.ingest;
+    println!(
+        "ingest: {} records, {} valid QUIC, {} false positives, {} TCP, {} ICMP",
+        stats.total, stats.quic_valid, stats.quic_false_positives, stats.tcp, stats.icmp
+    );
+    println!(
+        "sanitized: {} requests / {} responses after removing {} research packets from {} scanner(s)",
+        analysis.requests.len(),
+        analysis.responses.len(),
+        analysis.research_packets,
+        analysis.research_sources.len()
+    );
+    println!(
+        "sessions: {} request, {} response, {} TCP/ICMP",
+        analysis.request_sessions.len(),
+        analysis.response_sessions.len(),
+        analysis.common_sessions.len()
+    );
+    let durations = Cdf::new(
+        analysis
+            .quic_attacks
+            .iter()
+            .map(|a| a.duration().as_secs_f64())
+            .collect(),
+    );
+    println!(
+        "QUIC floods: {} against {} victims (median {:.0}s, median {:.2} max pps)",
+        analysis.quic_attacks.len(),
+        analysis.victims().len(),
+        durations.median().unwrap_or(0.0),
+        Cdf::new(analysis.quic_attacks.iter().map(|a| a.max_pps).collect())
+            .median()
+            .unwrap_or(0.0)
+    );
+    println!(
+        "multi-vector: {:.0}% concurrent / {:.0}% sequential / {:.0}% isolated (of {} QUIC floods)",
+        analysis.multivector.share(MultiVectorClass::Concurrent) * 100.0,
+        analysis.multivector.share(MultiVectorClass::Sequential) * 100.0,
+        analysis.multivector.share(MultiVectorClass::Isolated) * 100.0,
+        analysis.quic_attacks.len()
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    use quicsand_server::model::{RetryPolicy, ServerConfig};
+    use quicsand_server::replay::{replay_flood, ReplayConfig};
+
+    let pps: u64 = flag_value(args, "--pps")
+        .ok_or("replay requires --pps <rate>")?
+        .parse()
+        .map_err(|_| "invalid --pps")?;
+    let requests: u64 = flag_value(args, "--requests")
+        .map(|v| v.parse().map_err(|_| "invalid --requests"))
+        .transpose()?
+        .unwrap_or(pps * 300 + 1);
+    let workers: usize = flag_value(args, "--workers")
+        .map(|v| v.parse().map_err(|_| "invalid --workers"))
+        .transpose()?
+        .unwrap_or(4);
+    let retry_policy = if let Some(threshold) = flag_value(args, "--adaptive") {
+        RetryPolicy::Adaptive {
+            occupancy_threshold: threshold.parse().map_err(|_| "invalid --adaptive")?,
+        }
+    } else if has_flag(args, "--retry") {
+        RetryPolicy::Always
+    } else {
+        RetryPolicy::Off
+    };
+
+    eprintln!("replaying {requests} Initials at {pps} pps against {workers} worker(s)...");
+    let outcome = replay_flood(
+        &ReplayConfig {
+            pps,
+            total_requests: requests,
+            server: ServerConfig {
+                workers,
+                retry_policy,
+                ..ServerConfig::default()
+            },
+        },
+        42,
+    );
+    println!(
+        "requests {}  responses {}  answered {}  availability {}%  extra-rtt {}",
+        outcome.requests,
+        outcome.responses,
+        outcome.answered,
+        outcome.availability_percent(),
+        if outcome.extra_rtt { "yes" } else { "no" }
+    );
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("export requires a capture path")?;
+    let output = flag_value(args, "--pcap").ok_or("export requires --pcap <file>")?;
+    let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let reader =
+        CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
+    let out = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    let mut writer = quicsand_net::pcap::PcapWriter::new(BufWriter::new(out))
+        .map_err(|e| format!("write pcap header: {e}"))?;
+    for record in reader {
+        let record = record.map_err(|e| format!("read record: {e}"))?;
+        writer
+            .write(&record)
+            .map_err(|e| format!("write packet: {e}"))?;
+    }
+    let written = writer.written();
+    writer.finish().map_err(|e| format!("flush: {e}"))?;
+    println!("wrote {written} packets to {output} (libpcap, raw-IP linktype)");
+    Ok(())
+}
+
+fn cmd_experiments(args: &[String]) -> Result<(), String> {
+    use quicsand_core::experiments as exp;
+    let config = scale_config(args)?;
+    eprintln!("generating scenario (seed {:#x})...", config.seed);
+    let scenario = Scenario::generate(&config);
+    let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+    let reports = vec![
+        exp::fig02::run(&scenario, &analysis),
+        exp::fig03::run(&scenario, &analysis),
+        exp::fig04::run(&analysis),
+        exp::fig05::run(&scenario, &analysis),
+        exp::fig06::run(&analysis),
+        exp::fig07::run(&analysis),
+        exp::fig08::run(&analysis),
+        exp::fig09::run(&scenario, &analysis),
+        exp::fig10::run(&scenario, &analysis),
+        exp::fig11::run(&analysis),
+        exp::fig12::run(&analysis),
+        exp::fig13::run(&analysis),
+        exp::msgmix::run(&analysis),
+        exp::sec3_amplification::run(),
+    ];
+    for report in reports {
+        println!("{}", report.render());
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! A capture written to disk and re-read must analyze identically:
+//! the persistence path is how real deployments would feed the tool.
+
+use quicsand_core::{Analysis, AnalysisConfig};
+use quicsand_net::capture::{CaptureReader, CaptureWriter};
+use quicsand_traffic::{Scenario, ScenarioConfig};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+#[test]
+fn file_roundtrip_preserves_analysis() {
+    let mut config = ScenarioConfig::test();
+    // Keep the file small but representative.
+    config.research_packets_per_scan = 500;
+    config.quic_attacks = 30;
+    config.victim_pool = 12;
+    config.common_attacks = 20;
+    let scenario = Scenario::generate(&config);
+
+    let dir = std::env::temp_dir().join("quicsand-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.qscp");
+
+    // Write streaming.
+    let mut writer = CaptureWriter::new(BufWriter::new(File::create(&path).unwrap())).unwrap();
+    for record in &scenario.records {
+        writer.write(record).unwrap();
+    }
+    assert_eq!(writer.records_written(), scenario.records.len() as u64);
+    writer
+        .finish()
+        .unwrap()
+        .into_inner()
+        .unwrap()
+        .sync_all()
+        .unwrap();
+
+    // Read streaming.
+    let reader = CaptureReader::new(BufReader::new(File::open(&path).unwrap())).unwrap();
+    let records: Vec<_> = reader.map(|r| r.unwrap()).collect();
+    assert_eq!(records, scenario.records);
+
+    // Analyses agree.
+    let original = Analysis::run(&scenario, &AnalysisConfig::default());
+    let reloaded = Scenario {
+        world: scenario.world.clone(),
+        records,
+        truth: scenario.truth.clone(),
+        config: scenario.config.clone(),
+    };
+    let reanalyzed = Analysis::run(&reloaded, &AnalysisConfig::default());
+    assert_eq!(original.quic_attacks, reanalyzed.quic_attacks);
+    assert_eq!(original.ingest, reanalyzed.ingest);
+
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,109 @@
+//! End-to-end test of the `quicsand` CLI binary: generate → analyze →
+//! replay, via real subprocesses and a real capture file.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_quicsand")
+}
+
+#[test]
+fn generate_then_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("quicsand-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let capture = dir.join("cli.qscp");
+
+    let generate = Command::new(bin())
+        .args([
+            "generate",
+            "--out",
+            capture.to_str().unwrap(),
+            "--scale",
+            "test",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        generate.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&generate.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&generate.stdout);
+    assert!(stdout.contains("wrote"), "stdout: {stdout}");
+    assert!(capture.exists());
+
+    let pcap = dir.join("cli.pcap");
+    let export = Command::new(bin())
+        .args([
+            "export",
+            capture.to_str().unwrap(),
+            "--pcap",
+            pcap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run export");
+    assert!(
+        export.status.success(),
+        "export failed: {}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+    let pcap_bytes = std::fs::read(&pcap).unwrap();
+    assert_eq!(
+        &pcap_bytes[0..4],
+        &0xa1b2_c3d4u32.to_le_bytes(),
+        "pcap magic"
+    );
+    std::fs::remove_file(&pcap).unwrap();
+
+    let analyze = Command::new(bin())
+        .args(["analyze", capture.to_str().unwrap()])
+        .output()
+        .expect("run analyze");
+    assert!(
+        analyze.status.success(),
+        "analyze failed: {}",
+        String::from_utf8_lossy(&analyze.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&analyze.stdout);
+    assert!(stdout.contains("QUIC floods:"), "stdout: {stdout}");
+    assert!(stdout.contains("multi-vector:"), "stdout: {stdout}");
+
+    std::fs::remove_file(&capture).unwrap();
+}
+
+#[test]
+fn replay_reports_availability() {
+    let output = Command::new(bin())
+        .args(["replay", "--pps", "1000", "--requests", "20000", "--retry"])
+        .output()
+        .expect("run replay");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("availability 100%"), "stdout: {stdout}");
+    assert!(stdout.contains("extra-rtt yes"), "stdout: {stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = Command::new(bin())
+        .arg("frobnicate")
+        .output()
+        .expect("run binary");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("USAGE"), "stderr: {stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let output = Command::new(bin()).arg("--help").output().expect("run");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("USAGE"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let output = Command::new(bin()).arg("generate").output().expect("run");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--out"));
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! input, not just the synthesized scenarios.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use quicsand_net::{Duration, Timestamp};
+use quicsand_sessions::dos::{detect_attacks, AttackProtocol, DosThresholds};
+use quicsand_sessions::session::{sessionize, timeout_sweep, SessionConfig};
+use quicsand_wire::crypto::InitialSecrets;
+use quicsand_wire::packet::{parse_datagram, Packet, PacketPayload};
+use quicsand_wire::{ConnectionId, Frame, Version};
+use std::net::Ipv4Addr;
+
+fn ip(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 77, 0, last)
+}
+
+proptest! {
+    /// Any frame sequence we can encode, the telescope can decode —
+    /// through full packet protection.
+    #[test]
+    fn prop_protected_frames_roundtrip(
+        dcid_seed in any::<u64>(),
+        pn in 0u64..100_000,
+        crypto in proptest::collection::vec(any::<u8>(), 0..256),
+        pings in 0usize..4,
+        padding in 0usize..64,
+    ) {
+        let mut frames = vec![Frame::Crypto { offset: 0, data: Bytes::from(crypto) }];
+        for _ in 0..pings {
+            frames.push(Frame::Ping);
+        }
+        if padding > 0 {
+            frames.push(Frame::Padding { len: padding });
+        }
+        let dcid = ConnectionId::from_u64(dcid_seed);
+        let keys = InitialSecrets::derive(Version::V1, &dcid);
+        let wire = Packet::Handshake {
+            version: Version::V1,
+            dcid,
+            scid: ConnectionId::from_u64(dcid_seed ^ 1),
+            packet_number: pn,
+            payload: PacketPayload::new(frames.clone()),
+        }
+        .encode(Some(keys.server))
+        .unwrap();
+        let parsed = parse_datagram(&wire, 8).unwrap();
+        let (packet, aad) = &parsed[0];
+        let (got_pn, got_frames) = packet.open(keys.server, pn.checked_sub(1), aad).unwrap();
+        prop_assert_eq!(got_pn, pn);
+        prop_assert_eq!(got_frames, frames);
+    }
+
+    /// The dissector and the server must never panic on arbitrary
+    /// bytes — the telescope's survival property.
+    #[test]
+    fn prop_no_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..1500)) {
+        let _ = quicsand_dissect::dissect_udp_payload(&data);
+        let mut server = quicsand_server::model::QuicServerSim::new(
+            quicsand_server::model::ServerConfig::default(),
+            1,
+        );
+        let _ = server.handle_datagram(Timestamp::from_secs(1), ip(1), 5000, &data);
+        let mut client = quicsand_server::client::QuicClient::new(1);
+        let _ = client.initial_datagram();
+        let _ = client.handle_datagram(&data);
+    }
+
+    /// Sessionization is a partition: every packet lands in exactly one
+    /// session, sessions of one source never overlap in time, and no
+    /// intra-session gap exceeds the timeout.
+    #[test]
+    fn prop_sessions_partition_the_stream(
+        raw in proptest::collection::vec((0u64..50_000, 0u8..8), 1..400),
+        timeout_secs in 10u64..1_000,
+    ) {
+        let mut packets: Vec<(Timestamp, Ipv4Addr)> = raw
+            .into_iter()
+            .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
+            .collect();
+        packets.sort_by_key(|(ts, _)| *ts);
+        let timeout = Duration::from_secs(timeout_secs);
+        let sessions = sessionize(packets.iter().copied(), SessionConfig { timeout });
+        let total: u64 = sessions.iter().map(|s| s.packet_count).sum();
+        prop_assert_eq!(total, packets.len() as u64);
+        // Per-source sessions are disjoint and separated by > timeout.
+        let mut by_src: std::collections::HashMap<Ipv4Addr, Vec<(Timestamp, Timestamp)>> =
+            std::collections::HashMap::new();
+        for s in &sessions {
+            by_src.entry(s.src).or_default().push((s.start, s.end));
+        }
+        for intervals in by_src.values_mut() {
+            intervals.sort();
+            for w in intervals.windows(2) {
+                prop_assert!(w[1].0.saturating_since(w[0].1) > timeout);
+            }
+        }
+    }
+
+    /// The fast timeout sweep agrees with brute-force sessionization at
+    /// every timeout value.
+    #[test]
+    fn prop_sweep_equals_bruteforce(
+        raw in proptest::collection::vec((0u64..20_000, 0u8..5), 1..150),
+    ) {
+        let mut packets: Vec<(Timestamp, Ipv4Addr)> = raw
+            .into_iter()
+            .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
+            .collect();
+        packets.sort_by_key(|(ts, _)| *ts);
+        let timeouts: Vec<Duration> =
+            [30u64, 120, 600, 3_600].iter().map(|s| Duration::from_secs(*s)).collect();
+        let sweep = timeout_sweep(packets.iter().copied(), &timeouts);
+        for (timeout, count) in sweep.counts {
+            let direct =
+                sessionize(packets.iter().copied(), SessionConfig { timeout }).len() as u64;
+            prop_assert_eq!(count, direct, "timeout {}", timeout);
+        }
+    }
+
+    /// Stricter thresholds never detect more attacks (the Fig. 10
+    /// monotonicity, as a law over arbitrary session populations).
+    #[test]
+    fn prop_threshold_monotonicity(
+        raw in proptest::collection::vec((0u64..5_000, 0u8..4), 10..300),
+        w1 in 0.1f64..1.0,
+        w2 in 1.0f64..10.0,
+    ) {
+        let mut packets: Vec<(Timestamp, Ipv4Addr)> = raw
+            .into_iter()
+            .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
+            .collect();
+        packets.sort_by_key(|(ts, _)| *ts);
+        let sessions = sessionize(packets.into_iter(), SessionConfig::default());
+        let relaxed = detect_attacks(&sessions, AttackProtocol::Quic, &DosThresholds::weighted(w1));
+        let strict = detect_attacks(&sessions, AttackProtocol::Quic, &DosThresholds::weighted(w2));
+        prop_assert!(strict.len() <= relaxed.len());
+        // And every strict detection is also a relaxed detection.
+        for attack in &strict {
+            prop_assert!(relaxed.iter().any(|a| a.victim == attack.victim && a.start == attack.start));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end RETRY defence test across `quicsand-wire` and
+//! `quicsand-server`: floods, token forgery, and the legitimate-client
+//! experience — the Table 1 mechanics asserted as invariants.
+
+use quicsand_net::{Duration, Timestamp};
+use quicsand_server::client::{run_handshake, QuicClient};
+use quicsand_server::model::{QuicServerSim, ServerConfig};
+use quicsand_server::replay::InitialStream;
+use std::net::Ipv4Addr;
+
+fn flood(server: &mut QuicServerSim, pps: u64, secs: u64, seed: u64) {
+    let interval = Duration::from_micros(1_000_000 / pps);
+    let mut now = Timestamp::EPOCH;
+    let mut stream = InitialStream::new(seed);
+    for _ in 0..pps * secs {
+        let p = stream.next().unwrap();
+        server.handle_datagram(now, p.src_ip, p.src_port, &p.datagram);
+        now += interval;
+    }
+}
+
+#[test]
+fn flood_starves_legit_client_without_retry() {
+    let mut server = QuicServerSim::new(
+        ServerConfig {
+            workers: 2,
+            conns_per_worker: 128,
+            ..ServerConfig::default()
+        },
+        1,
+    );
+    flood(&mut server, 200, 30, 0xF1);
+    // Table saturated.
+    assert_eq!(server.open_connections(), 256);
+    assert!(server.stats().dropped_table > 0);
+    // Legit client arrives mid-flood.
+    let mut client = QuicClient::new(2);
+    run_handshake(
+        &mut server,
+        &mut client,
+        Ipv4Addr::new(203, 0, 113, 1),
+        4444,
+        Timestamp::from_secs(30),
+    );
+    assert!(!client.is_established(), "client must be starved");
+}
+
+#[test]
+fn flood_is_neutralized_with_retry() {
+    let mut server = QuicServerSim::new(
+        ServerConfig {
+            workers: 2,
+            conns_per_worker: 128,
+            ..ServerConfig::default()
+        }
+        .with_retry(true),
+        1,
+    );
+    flood(&mut server, 200, 30, 0xF1);
+    // The flood allocated nothing.
+    assert_eq!(server.open_connections(), 0);
+    assert_eq!(server.stats().accepted, 0);
+    assert_eq!(server.stats().retries_sent, 6_000);
+    // Legit client sails through with one extra RTT.
+    let mut client = QuicClient::new(2);
+    run_handshake(
+        &mut server,
+        &mut client,
+        Ipv4Addr::new(203, 0, 113, 1),
+        4444,
+        Timestamp::from_secs(30),
+    );
+    assert!(client.is_established());
+    assert_eq!(client.round_trips(), 2);
+    assert_eq!(client.retries_seen(), 1);
+}
+
+#[test]
+fn stolen_token_is_useless_elsewhere() {
+    // An observer cannot reuse a victim's token from another address:
+    // run a retry exchange, then replay the tokened Initial from a
+    // different source.
+    let mut server = QuicServerSim::new(ServerConfig::default().with_retry(true), 3);
+    let mut client = QuicClient::new(9);
+    let first = client.initial_datagram();
+    let responses = server.handle_datagram(
+        Timestamp::from_secs(1),
+        Ipv4Addr::new(10, 0, 0, 1),
+        1111,
+        &first,
+    );
+    assert_eq!(server.stats().retries_sent, 1);
+    // Client honours the retry and produces the tokened Initial.
+    let tokened = client
+        .handle_datagram(&responses[0].payload)
+        .expect("client re-sends after retry");
+    // Replay from a *different* address: rejected, no state.
+    let replayed = server.handle_datagram(
+        Timestamp::from_secs(1),
+        Ipv4Addr::new(10, 9, 9, 9),
+        1111,
+        &tokened,
+    );
+    assert!(replayed.is_empty());
+    assert_eq!(server.stats().dropped_bad_token, 1);
+    // From the right address: accepted.
+    let ok = server.handle_datagram(
+        Timestamp::from_secs(1),
+        Ipv4Addr::new(10, 0, 0, 1),
+        1111,
+        &tokened,
+    );
+    assert_eq!(ok.len(), 4);
+    assert_eq!(server.stats().accepted, 1);
+}
+
+#[test]
+fn expired_token_is_rejected() {
+    let mut server = QuicServerSim::new(ServerConfig::default().with_retry(true), 4);
+    let mut client = QuicClient::new(10);
+    let first = client.initial_datagram();
+    let responses = server.handle_datagram(
+        Timestamp::from_secs(1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        2222,
+        &first,
+    );
+    let tokened = client.handle_datagram(&responses[0].payload).unwrap();
+    // Present the token far past its lifetime.
+    let late = server.handle_datagram(
+        Timestamp::from_secs(1_000),
+        Ipv4Addr::new(10, 0, 0, 2),
+        2222,
+        &tokened,
+    );
+    assert!(late.is_empty());
+    assert_eq!(server.stats().dropped_bad_token, 1);
+}
+
+#[test]
+fn established_connections_survive_the_flood() {
+    // A client that completed its handshake BEFORE the flood keeps its
+    // state (established connections are not evicted by new Initials).
+    let mut server = QuicServerSim::new(
+        ServerConfig {
+            workers: 1,
+            conns_per_worker: 64,
+            ..ServerConfig::default()
+        },
+        5,
+    );
+    let mut client = QuicClient::new(11);
+    run_handshake(
+        &mut server,
+        &mut client,
+        Ipv4Addr::new(203, 0, 113, 7),
+        7777,
+        Timestamp::from_secs(0),
+    );
+    assert!(client.is_established());
+    flood(&mut server, 100, 20, 0xF2);
+    // The flood filled the table around the established connection.
+    assert_eq!(server.open_connections(), 64);
+    assert_eq!(server.stats().completed, 1);
+}
