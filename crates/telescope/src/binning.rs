@@ -42,18 +42,34 @@ impl HourlySeries {
         (0..hours).map(|h| (h, self.get(h))).collect()
     }
 
-    /// Mean count per hour-of-day (0–23) — the Fig. 3 insert profile.
-    pub fn hour_of_day_profile(&self) -> [f64; 24] {
+    /// Mean count per hour-of-day (0–23) over a measurement period of
+    /// `hours` hours — the Fig. 3 insert profile.
+    ///
+    /// The divisor for each slot is the number of times that
+    /// hour-of-day *occurs in the period*, not the number of non-empty
+    /// buckets: an hour with traffic on one day out of seven averages
+    /// to count/7, matching how the paper's per-hour means are read
+    /// off a fixed 4-week window. (The previous behaviour divided by
+    /// occupied-bucket count, which inflated sparse hours.)
+    pub fn hour_of_day_profile(&self, hours: u64) -> [f64; 24] {
         let mut sums = [0u64; 24];
-        let mut days = [0u64; 24];
+        let mut occurrences = [0u64; 24];
+        for slot in 0..24u64 {
+            if hours > slot {
+                // Slot `slot` occurs at absolute hours slot, slot+24, …
+                // strictly below `hours`.
+                occurrences[slot as usize] = (hours - slot).div_ceil(24);
+            }
+        }
         for (&hour, &count) in &self.counts {
-            sums[(hour % 24) as usize] += count;
-            days[(hour % 24) as usize] += 1;
+            if hour < hours {
+                sums[(hour % 24) as usize] += count;
+            }
         }
         let mut profile = [0.0; 24];
         for i in 0..24 {
-            if days[i] > 0 {
-                profile[i] = sums[i] as f64 / days[i] as f64;
+            if occurrences[i] > 0 {
+                profile[i] = sums[i] as f64 / occurrences[i] as f64;
             }
         }
         profile
@@ -108,9 +124,40 @@ mod tests {
         // Hour 6 on two different days: 10 and 20 events.
         s.add_n(Timestamp::from_secs(6 * 3_600), 10);
         s.add_n(Timestamp::from_secs(86_400 + 6 * 3_600), 20);
-        let profile = s.hour_of_day_profile();
+        let profile = s.hour_of_day_profile(48);
         assert_eq!(profile[6], 15.0);
         assert_eq!(profile[7], 0.0);
+    }
+
+    #[test]
+    fn hour_of_day_profile_divides_by_days_in_period_not_active_days() {
+        let mut s = HourlySeries::new();
+        // Hour 6 active only on day 0 of a 4-day period.
+        s.add_n(Timestamp::from_secs(6 * 3_600), 12);
+        let profile = s.hour_of_day_profile(4 * 24);
+        // 12 events over 4 occurrences of 06:00 → mean 3, not 12.
+        assert_eq!(profile[6], 3.0);
+    }
+
+    #[test]
+    fn hour_of_day_profile_partial_last_day() {
+        let mut s = HourlySeries::new();
+        s.add_n(Timestamp::from_secs(3_600), 10); // hour-of-day 1, day 0
+        // 30-hour period: hour-of-day 1 occurs twice (h1, h25); slot 12
+        // occurs once (h12).
+        s.add_n(Timestamp::from_secs(12 * 3_600), 7);
+        let profile = s.hour_of_day_profile(30);
+        assert_eq!(profile[1], 5.0);
+        assert_eq!(profile[12], 7.0);
+    }
+
+    #[test]
+    fn hour_of_day_profile_ignores_counts_outside_period() {
+        let mut s = HourlySeries::new();
+        s.add_n(Timestamp::from_secs(6 * 3_600), 10);
+        s.add_n(Timestamp::from_secs(86_400 + 6 * 3_600), 99); // beyond 24h period
+        let profile = s.hour_of_day_profile(24);
+        assert_eq!(profile[6], 10.0);
     }
 
     #[test]

@@ -287,8 +287,8 @@ pub fn plan(world: &SyntheticInternet, config: &ScenarioConfig) -> AttackPlan {
                 let (start, duration) = if rng.gen_bool(config.full_overlap_share) {
                     // Fully covering, but capped so it cannot swallow
                     // the victim's neighbouring QUIC floods.
-                    let lead = rng.gen_range(10..300);
-                    let trail = rng.gen_range(10..300);
+                    let lead = rng.gen_range(10..300u64);
+                    let trail = rng.gen_range(10..300u64);
                     (
                         attack.start_secs.saturating_sub(lead),
                         attack.duration_secs + lead + trail,
@@ -300,7 +300,7 @@ pub fn plan(world: &SyntheticInternet, config: &ScenarioConfig) -> AttackPlan {
                     // neighbouring floods (same-victim separation is
                     // 660 s).
                     let overlap =
-                        (attack.duration_secs as f64 * rng.gen_range(0.10..0.9)).max(2.0) as u64;
+                        (attack.duration_secs as f64 * rng.gen_range(0.10f64..0.9)).max(2.0) as u64;
                     let duration = (lognormal_by_median(
                         &mut rng,
                         config.common_duration_median_secs,

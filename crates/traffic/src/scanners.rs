@@ -30,7 +30,7 @@ fn sample_start(rng: &mut ChaCha12Rng, days: u32) -> Timestamp {
     let weights: Vec<f64> = (0..24).map(diurnal_weight).collect();
     let day = rng.gen_range(0..u64::from(days));
     let hour = weighted_index(rng, &weights) as u64;
-    let second = rng.gen_range(0..3_600);
+    let second = rng.gen_range(0..3_600u64);
     Timestamp::from_secs(day * 86_400 + hour * 3_600 + second)
 }
 

@@ -44,7 +44,9 @@ fn main() {
 
     // 2. Diurnal pattern of the sanitized requests.
     println!("\nRequest activity by hour of day (mean packets/hour):");
-    let profile = analysis.request_hourly.hour_of_day_profile();
+    let profile = analysis
+        .request_hourly
+        .hour_of_day_profile(u64::from(config.days) * 24);
     let max = profile.iter().fold(0.0f64, |a, &b| a.max(b)).max(1.0);
     for (hour, value) in profile.iter().enumerate() {
         let bar = "#".repeat((value / max * 40.0).round() as usize);

@@ -1,0 +1,312 @@
+//! Vendored minimal benchmarking harness with a criterion-compatible
+//! API for the offline build.
+//!
+//! Implements the subset the workspace benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `Throughput`, `black_box`,
+//! `criterion_group!`, `criterion_main!`.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! over a few fixed-duration passes; the per-iteration median pass is
+//! reported along with derived throughput. No statistics beyond that —
+//! the goal is honest relative numbers (e.g. 1-shard vs 8-shard
+//! pipelines), not criterion's full analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — delegates to `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How per-iteration setup output is batched in `iter_batched`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    /// Target measurement time per benchmark pass.
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("QUICK_BENCH").is_ok();
+        Criterion {
+            measurement: if quick {
+                Duration::from_millis(200)
+            } else {
+                Duration::from_millis(800)
+            },
+            warm_up: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Convenience single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("default", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            per_iter: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(&self.name, id, &bencher, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the return value is black-boxed.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and iteration-count calibration.
+        let warm_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter_est = if calib_iters > 0 {
+            warm_start.elapsed() / calib_iters as u32
+        } else {
+            Duration::from_nanos(1)
+        };
+        let target_iters = (self.measurement.as_nanos()
+            / per_iter_est.as_nanos().max(1))
+        .clamp(1, 50_000_000) as u64;
+
+        // Measured passes: take the best of 3 to damp scheduler noise.
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..target_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / target_iters as u32;
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        self.per_iter = best;
+        self.iters = target_iters * 3;
+    }
+
+    /// Time `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with a few runs.
+        let mut calib_total = Duration::ZERO;
+        let calib_runs = 3u32;
+        for _ in 0..calib_runs {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            calib_total += start.elapsed();
+        }
+        let per_iter_est = calib_total / calib_runs;
+        let target_iters = (self.measurement.as_nanos()
+            / per_iter_est.as_nanos().max(1))
+        .clamp(1, 10_000) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..target_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.per_iter = total / target_iters as u32;
+        self.iters = target_iters + calib_runs as u64;
+    }
+}
+
+fn report(group: &str, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let nanos = bencher.per_iter.as_nanos() as f64;
+    let time = format_time(nanos);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if nanos > 0.0 => {
+            format!("  {:.3} Melem/s", n as f64 / nanos * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if nanos > 0.0 => {
+            format!("  {:.3} MiB/s", n as f64 / nanos * 1e9 / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{id}: {time}/iter ({} iters){rate}", bencher.iters);
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running all the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test` runs the
+            // binary without it (smoke mode — just exit cleanly).
+            if !std::env::args().any(|a| a == "--bench") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            per_iter: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(b.iters > 0);
+        assert!(b.per_iter > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_measures_something() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            per_iter: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter_batched(
+            || vec![1u8; 1024],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(12.0).contains("ns"));
+        assert!(format_time(12_000.0).contains("µs"));
+        assert!(format_time(12_000_000.0).contains("ms"));
+        assert!(format_time(12_000_000_000.0).contains('s'));
+    }
+}

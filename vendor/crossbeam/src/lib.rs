@@ -1,0 +1,86 @@
+//! Vendored minimal `crossbeam` shim for the offline build.
+//!
+//! Only the scoped-thread API the workspace uses is provided, layered
+//! over `std::thread::scope` (stable since Rust 1.63). The signatures
+//! mirror crossbeam 0.8: `thread::scope` returns a
+//! `thread::Result<R>`, and `ScopedJoinHandle::join` returns a
+//! `Result` so call sites port directly to/from the real crate.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope or join: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, non-'static threads may
+    /// be spawned; all are joined before `scope` returns.
+    ///
+    /// Unlike `std::thread::scope`, a panic in a spawned thread is
+    /// reported through the returned `Result` (crossbeam semantics)
+    /// rather than resuming the unwind — callers decide.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|| panic!("boom")).join().map(|()| ()).is_err()
+        });
+        assert_eq!(r.unwrap(), true);
+    }
+}

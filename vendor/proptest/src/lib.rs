@@ -1,0 +1,532 @@
+//! Vendored minimal property-testing harness for the offline build.
+//!
+//! Provides the subset of the `proptest` API the workspace uses:
+//! `proptest! { #[test] fn name(x in strategy, ...) { ... } }`,
+//! `prop_assert!` / `prop_assert_eq!`, `any::<T>()`, integer and float
+//! range strategies, tuple strategies, `collection::vec`, `option::of`,
+//! and `&str`-as-regex string strategies.
+//!
+//! Each generated test runs a fixed number of cases (default 64,
+//! override with `PROPTEST_CASES`) from a ChaCha stream seeded from the
+//! test name, so failures are reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error carried out of a failing property-test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Number of cases each property test runs (see `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic per-test RNG.
+    pub struct TestRng {
+        inner: rand_chacha::ChaCha12Rng,
+    }
+
+    impl TestRng {
+        /// Seed from the test name so every test has an independent but
+        /// stable stream.
+        pub fn deterministic(name: &str) -> Self {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            // DefaultHasher::new() is stable across runs (fixed keys).
+            name.hash(&mut hasher);
+            0x51C5_AB5E_u64.hash(&mut hasher);
+            TestRng {
+                inner: rand_chacha::ChaCha12Rng::seed_from_u64(hasher.finish()),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. The subset of `proptest::Strategy` we need:
+/// generation only, no shrinking.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// --- Integer / float ranges -----------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+// --- any::<T>() ------------------------------------------------------------
+
+/// Strategy producing uniformly random values of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()` — any value of `T`.
+pub fn any<T>() -> Any<T>
+where
+    T: rand::StandardSample,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T> Strategy for Any<T>
+where
+    T: rand::StandardSample,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+// --- Tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+// --- Collections -----------------------------------------------------------
+
+/// Length specification for `collection::vec`.
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end.saturating_sub(1),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `collection::vec(element, len)` — vectors whose length is drawn
+    /// from `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.max <= self.size.min {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..=self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `option::of(inner)` — `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// --- Regex string strategy --------------------------------------------------
+
+/// A `&str` is interpreted as a (small) regex describing strings to
+/// generate. Supported syntax: literal characters, `\x` escapes,
+/// character classes `[a-z0-9_]`, and `{m}` / `{m,n}` quantifiers on the
+/// preceding atom. This covers the patterns used in the workspace.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                let escaped = chars.next().unwrap_or('\\');
+                atoms.push((Atom::Literal(escaped), 1, 1));
+            }
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                for cc in chars.by_ref() {
+                    match cc {
+                        ']' => break,
+                        '-' => {
+                            // Range: prev already pushed; next char closes it.
+                            prev = prev.or(Some('-'));
+                            if prev == Some('-') && class.is_empty() {
+                                class.push('-');
+                                prev = None;
+                            } else {
+                                // Mark pending range with sentinel.
+                                class.push('\u{0}');
+                            }
+                        }
+                        cc => {
+                            if class.last() == Some(&'\u{0}') {
+                                class.pop();
+                                let lo = prev.unwrap_or(cc);
+                                for r in (lo as u32)..=(cc as u32) {
+                                    if let Some(ch) = char::from_u32(r) {
+                                        if !class.contains(&ch) {
+                                            class.push(ch);
+                                        }
+                                    }
+                                }
+                                prev = None;
+                            } else {
+                                class.push(cc);
+                                prev = Some(cc);
+                            }
+                        }
+                    }
+                }
+                if class.is_empty() {
+                    class.push('?');
+                }
+                atoms.push((Atom::Class(class), 1, 1));
+            }
+            '{' => {
+                // Quantifier on the previous atom.
+                let mut spec = String::new();
+                for cc in chars.by_ref() {
+                    if cc == '}' {
+                        break;
+                    }
+                    spec.push(cc);
+                }
+                let (min, max) = parse_quantifier(&spec);
+                if let Some(last) = atoms.last_mut() {
+                    last.1 = min;
+                    last.2 = max;
+                }
+            }
+            '.' => atoms.push((Atom::Class(('a'..='z').collect()), 1, 1)),
+            c => atoms.push((Atom::Literal(c), 1, 1)),
+        }
+    }
+
+    for (atom, min, max) in atoms {
+        let reps = if max <= min {
+            min
+        } else {
+            rng.gen_range(min..=max)
+        };
+        for _ in 0..reps {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(class) => {
+                    let idx = rng.gen_range(0..class.len());
+                    out.push(class[idx]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse_quantifier(spec: &str) -> (usize, usize) {
+    if let Some((lo, hi)) = spec.split_once(',') {
+        let lo = lo.trim().parse().unwrap_or(0);
+        let hi = hi.trim().parse().unwrap_or(lo);
+        (lo, hi)
+    } else {
+        let n = spec.trim().parse().unwrap_or(1);
+        (n, n)
+    }
+}
+
+// --- Macros ----------------------------------------------------------------
+
+/// Define property tests. Each `fn` becomes a `#[test]` running
+/// [`cases()`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let __cases = $crate::cases();
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("property '{}' failed at case {}/{}: {}",
+                               stringify!($name), __case + 1, __cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// message instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn regex_pattern_generates_expected_shape() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z]{1,20}\\.[a-z]{2,5}", &mut rng);
+            let (host, tld) = s.split_once('.').expect("dot present");
+            assert!((1..=20).contains(&host.len()), "host {host:?}");
+            assert!((2..=5).contains(&tld.len()), "tld {tld:?}");
+            assert!(host.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(tld.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproducible() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(TestRng::deterministic("x").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let strat = collection::vec(any::<u8>(), 3..7);
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let strat = option::of(0u8..10);
+        let mut rng = TestRng::deterministic("opt");
+        let values: Vec<_> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.iter().any(|v| v.is_none()));
+        assert!(values.iter().any(|v| v.is_some()));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in any::<u16>(), pair in (0u64..5, 0u8..3)) {
+            prop_assert!(a < 100);
+            let _ = b;
+            prop_assert!(pair.0 < 5 && pair.1 < 3);
+            prop_assert_eq!(a + 1, a + 1);
+        }
+
+        #[test]
+        fn inclusive_ranges(len in 0u8..=32, v in 0..=10u64) {
+            prop_assert!(len <= 32);
+            prop_assert!(v <= 10);
+        }
+    }
+}

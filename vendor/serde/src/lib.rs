@@ -1,0 +1,765 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The offline build cannot fetch real serde, so this crate provides a
+//! compatible *surface* over a much simpler core: every value
+//! serializes into a self-describing [`Value`] tree, and serializers /
+//! deserializers exchange whole `Value`s instead of driving the visitor
+//! state machine. `#[derive(Serialize, Deserialize)]` comes from the
+//! sibling `serde_derive` crate and targets exactly this model.
+//!
+//! Guarantees kept from real serde that callers rely on:
+//! * derived structs/enums round-trip through `serde_json`;
+//! * `#[serde(with = "module")]` field attributes work;
+//! * map/set serialization is deterministic (sorted) so identical data
+//!   always renders identical JSON.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Derive-macro re-export namespace (`serde::de`, `serde::ser`).
+pub mod ser {
+    pub use super::{Error, Serialize, Serializer};
+}
+
+/// Deserialization half of the API surface.
+pub mod de {
+    pub use super::{Deserialize, Deserializer};
+    /// Marker mirroring serde's `DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Subset of serde's `de::Error` trait, blanket-implemented for
+    /// every error type that can absorb the core [`super::Error`] —
+    /// which `Deserializer::Error` is bound to do.
+    pub trait Error: Sized {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+
+        fn invalid_length(len: usize, expected: &dyn std::fmt::Display) -> Self {
+            Self::custom(format!("invalid length {len}, expected {expected}"))
+        }
+
+        fn invalid_value(unexpected: &dyn std::fmt::Display, expected: &dyn std::fmt::Display) -> Self {
+            Self::custom(format!("invalid value {unexpected}, expected {expected}"))
+        }
+    }
+
+    impl<T: From<super::Error>> Error for T {
+        fn custom<M: std::fmt::Display>(msg: M) -> Self {
+            T::from(super::Error::custom(msg))
+        }
+    }
+}
+
+/// Self-describing value tree — the single interchange format of this
+/// serde stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Raw bytes (serialized as an array of numbers in JSON).
+    Bytes(Vec<u8>),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Map / struct: ordered key–value pairs with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short type label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Total order over values (floats via `total_cmp`) — used to sort
+    /// unordered collections for deterministic output.
+    pub fn canonical_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                U64(_) => 2,
+                I64(_) => 3,
+                F64(_) => 4,
+                Str(_) => 5,
+                Bytes(_) => 6,
+                Seq(_) => 7,
+                Map(_) => 8,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (U64(a), U64(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (Seq(a), Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.canonical_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Map(a), Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let ord = ka.cmp(kb).then_with(|| va.canonical_cmp(vb));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn type_error(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+/// A type that can render itself as a [`Value`] through any
+/// [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Sink for one serialized value.
+pub trait Serializer: Sized {
+    /// Success type.
+    type Ok;
+    /// Error type (must absorb core [`Error`]s).
+    type Error: From<Error>;
+
+    /// Accepts a fully built value tree.
+    fn collect_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes raw bytes (used by `#[serde(with = ...)]` shims).
+    fn serialize_bytes(self, bytes: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.collect_value(Value::Bytes(bytes.to_vec()))
+    }
+
+    /// Serializes a string.
+    fn serialize_str(self, s: &str) -> Result<Self::Ok, Self::Error> {
+        self.collect_value(Value::Str(s.to_string()))
+    }
+}
+
+/// Source of one value tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type (must absorb core [`Error`]s).
+    type Error: From<Error>;
+
+    /// Yields the underlying value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type reconstructable from a [`Value`] through any
+/// [`Deserializer`]. The derive macro of the same name lives in the
+/// macro namespace, exactly as in real serde.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Serializer that materializes the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn collect_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// Deserializer over an owned [`Value`] tree.
+pub struct ValueDeserializer(pub Value);
+
+impl ValueDeserializer {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer(value)
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Reconstructs a value from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ---------------------------------------------------------------------
+// Serialize / Deserialize implementations for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.collect_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n: u64 = match &v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| D::Error::from(type_error("integer string", &v)))?,
+                    other => return Err(D::Error::from(type_error("unsigned integer", other))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::from(Error::custom(concat!("integer out of range for ", stringify!($t)))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.collect_value(Value::U64(v as u64))
+                } else {
+                    s.collect_value(Value::I64(v))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n: i64 = match &v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| D::Error::from(Error::custom("integer overflow")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| D::Error::from(type_error("integer string", &v)))?,
+                    other => return Err(D::Error::from(type_error("integer", other))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::from(Error::custom(concat!("integer out of range for ", stringify!($t)))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.collect_value(Value::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::Str(s) if s == "NaN" => Ok(<$t>::NAN),
+                    other => Err(D::Error::from(type_error("float", &other))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_value(Value::Bool(*self))
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::from(type_error("bool", &other))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+/// Deserializing to `&'static str` is supported by interning: real
+/// serde hands out borrows of the input buffer, but this stand-in's
+/// value tree owns its strings, so distinct string values are leaked
+/// once into a process-wide intern table (bounded by the number of
+/// *distinct* strings, e.g. country codes).
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(intern_str(s)),
+            other => Err(D::Error::from(type_error("string", &other))),
+        }
+    }
+}
+
+fn intern_str(s: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern table lock");
+    if let Some(existing) = set.get(s.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::from(type_error("string", &other))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_value(Value::Str(self.to_string()))
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(D::Error::from(type_error("single-char string", &other))),
+        }
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_value(Value::Str(self.to_string()))
+    }
+}
+impl<'de> Deserialize<'de> for Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match &v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| D::Error::from(type_error("IPv4 address", &v))),
+            other => Err(D::Error::from(type_error("IPv4 address string", other))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.collect_value(Value::Null),
+            Some(v) => {
+                let inner = to_value(v).map_err(S::Error::from)?;
+                s.collect_value(inner)
+            }
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => Ok(Some(from_value(other).map_err(D::Error::from)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value(item).map_err(S::Error::from)?);
+        }
+        s.collect_value(Value::Seq(items))
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::from))
+                .collect(),
+            Value::Bytes(bytes) => bytes
+                .into_iter()
+                .map(|b| from_value(Value::U64(b as u64)).map_err(D::Error::from))
+                .collect(),
+            other => Err(D::Error::from(type_error("sequence", &other))),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        items
+            .try_into()
+            .map_err(|_| D::Error::from(Error::custom("wrong array length")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value(&self.$idx).map_err(S::Error::from)?),+];
+                s.collect_value(Value::Seq(items))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_value()? {
+                    Value::Seq(items) => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            let item = it
+                                .next()
+                                .ok_or_else(|| __D::Error::from(Error::custom("tuple too short")))?;
+                            from_value::<$name>(item).map_err(__D::Error::from)?
+                        },)+))
+                    }
+                    other => Err(__D::Error::from(type_error("tuple sequence", &other))),
+                }
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Turns a serialized key value into a deterministic string key.
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        Value::F64(f) => Ok(f.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be scalar, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn serialize_map_entries<'a, K, V, I, S>(iter: I, s: S) -> Result<S::Ok, S::Error>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+    S: Serializer,
+{
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    for (k, v) in iter {
+        let key = key_to_string(&to_value(k).map_err(S::Error::from)?).map_err(S::Error::from)?;
+        entries.push((key, to_value(v).map_err(S::Error::from)?));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    s.collect_value(Value::Map(entries))
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_map_entries(self.iter(), s)
+    }
+}
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_map_entries(self.iter(), s)
+    }
+}
+
+fn deserialize_map_entries<'de, K, V, D>(d: D) -> Result<Vec<(K, V)>, D::Error>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    match d.take_value()? {
+        Value::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| {
+                let key = from_value::<K>(Value::Str(k)).map_err(D::Error::from)?;
+                let value = from_value::<V>(v).map_err(D::Error::from)?;
+                Ok((key, value))
+            })
+            .collect(),
+        other => Err(D::Error::from(type_error("map", &other))),
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(deserialize_map_entries::<K, V, D>(d)?.into_iter().collect())
+    }
+}
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(deserialize_map_entries::<K, V, D>(d)?.into_iter().collect())
+    }
+}
+
+fn serialize_set_entries<'a, T, I, S>(iter: I, s: S) -> Result<S::Ok, S::Error>
+where
+    T: Serialize + 'a,
+    I: Iterator<Item = &'a T>,
+    S: Serializer,
+{
+    let mut items: Vec<Value> = Vec::new();
+    for item in iter {
+        items.push(to_value(item).map_err(S::Error::from)?);
+    }
+    items.sort_by(|a, b| a.canonical_cmp(b));
+    s.collect_value(Value::Seq(items))
+}
+
+impl<T: Serialize, H> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_set_entries(self.iter(), s)
+    }
+}
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_set_entries(self.iter(), s)
+    }
+}
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_value(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_value(Value::Null)
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let _ = d.take_value()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(from_value::<u64>(to_value(&42u64).unwrap()).unwrap(), 42);
+        assert_eq!(from_value::<i32>(to_value(&-7i32).unwrap()).unwrap(), -7);
+        assert_eq!(from_value::<bool>(to_value(&true).unwrap()).unwrap(), true);
+        let s: String = from_value(to_value("hi").unwrap()).unwrap();
+        assert_eq!(s, "hi");
+        let ip: Ipv4Addr = from_value(to_value(&Ipv4Addr::new(10, 0, 0, 1)).unwrap()).unwrap();
+        assert_eq!(ip, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(from_value::<Vec<u64>>(to_value(&v).unwrap()).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(42u64, 7u64);
+        m.insert(1u64, 9u64);
+        let back: HashMap<u64, u64> = from_value(to_value(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+
+        let t = (1u32, "x".to_string());
+        let back: (u32, String) = from_value(to_value(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+
+        let o: Option<u8> = None;
+        assert_eq!(from_value::<Option<u8>>(to_value(&o).unwrap()).unwrap(), o);
+    }
+
+    #[test]
+    fn map_serialization_is_sorted() {
+        let mut m = HashMap::new();
+        for i in 0..20u64 {
+            m.insert(i, i);
+        }
+        let a = to_value(&m).unwrap();
+        let b = to_value(&m.clone()).unwrap();
+        assert_eq!(a, b);
+        if let Value::Map(entries) = &a {
+            let keys: Vec<&String> = entries.iter().map(|(k, _)| k).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted);
+        } else {
+            panic!("expected map");
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote —
+//! the offline build has no crates.io access). Supports the shapes the
+//! workspace actually uses:
+//!
+//! * structs with named fields (including `#[serde(with = "module")]`
+//!   field attributes), tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   like real serde: `"Variant"` / `{"Variant": ...}`);
+//! * no generics (a clear compile error is emitted if encountered).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading outer attributes, returning any
+    /// `#[serde(with = "path")]` payload found among them.
+    fn skip_attributes(&mut self) -> Option<String> {
+        let mut with = None;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+            if let Some(TokenTree::Group(group)) = self.next() {
+                if with.is_none() {
+                    with = extract_serde_with(group.stream());
+                }
+            }
+        }
+        with
+    }
+
+    /// Consumes `pub` / `pub(crate)` style visibility if present.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+}
+
+/// Scans an attribute body for `serde(with = "path")`.
+fn extract_serde_with(stream: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if key.to_string() == "with" && eq.as_char() == '=' =>
+                {
+                    let text = lit.to_string();
+                    Some(text.trim_matches('"').to_string())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let kind = cursor.expect_ident("`struct` or `enum`")?;
+    let name = cursor.expect_ident("item name")?;
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (on `{name}`)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Counts comma-separated entries at angle-bracket depth zero.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let with = cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        let name = cursor.expect_ident("field name")?;
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&mut cursor);
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+/// Skips a type up to (and including) the next comma at angle depth 0.
+fn skip_type(cursor: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = cursor.peek() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                cursor.next();
+                return;
+            }
+            _ => {}
+        }
+        cursor.next();
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.expect_ident("variant name")?;
+        let fields = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                cursor.next();
+                Fields::Named(parse_named_fields(body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                cursor.next();
+                Fields::Tuple(count_top_level_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the comma separating variants (covers discriminants).
+        while let Some(token) = cursor.peek() {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                cursor.next();
+                break;
+            }
+            cursor.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `entries.push(("name", <value expr>))` for one named field.
+fn ser_named_field(field: &Field, access: &str) -> String {
+    let name = &field.name;
+    match &field.with {
+        Some(path) => format!(
+            "entries.push((::std::string::String::from({name:?}), \
+             {path}::serialize(&{access}, ::serde::ValueSerializer).map_err(S::Error::from)?));"
+        ),
+        None => format!(
+            "entries.push((::std::string::String::from({name:?}), \
+             ::serde::to_value(&{access}).map_err(S::Error::from)?));"
+        ),
+    }
+}
+
+fn de_named_field(field: &Field, source: &str, context: &str) -> String {
+    let name = &field.name;
+    let fetch = format!(
+        "{source}.get({name:?}).cloned().ok_or_else(|| \
+         ::serde::Error::custom(concat!(\"missing field `\", {name:?}, \"` in \", {context:?})))?"
+    );
+    match &field.with {
+        Some(path) => format!(
+            "{name}: {path}::deserialize(::serde::ValueDeserializer::new({fetch}))?,"
+        ),
+        None => format!("{name}: ::serde::from_value({fetch})?,"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let mut code = String::from(
+                        "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for field in fields {
+                        code.push_str(&ser_named_field(field, &format!("self.{}", field.name)));
+                        code.push('\n');
+                    }
+                    code.push_str("serializer.collect_value(::serde::Value::Map(entries))");
+                    code
+                }
+                Fields::Tuple(1) => {
+                    "let inner = ::serde::to_value(&self.0).map_err(S::Error::from)?;\n\
+                     serializer.collect_value(inner)"
+                        .to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::to_value(&self.{i}).map_err(S::Error::from)?"))
+                        .collect();
+                    format!(
+                        "serializer.collect_value(::serde::Value::Seq(::std::vec![{}]))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => "serializer.collect_value(::serde::Value::Null)".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.collect_value(\
+                         ::serde::Value::Str(::std::string::String::from({vname:?}))),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let inner = ::serde::to_value(__f0).map_err(S::Error::from)?;\n\
+                         serializer.collect_value(::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({vname:?}), inner)]))\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::to_value({b}).map_err(S::Error::from)?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let inner = ::serde::Value::Seq(::std::vec![{}]);\n\
+                             serializer.collect_value(::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), inner)]))\n}}\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for field in fields {
+                            pushes.push_str(&ser_named_field(field, &field.name));
+                            pushes.push('\n');
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             serializer.collect_value(::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), ::serde::Value::Map(entries))]))\n}}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let context = format!("struct {name}");
+                    let mut inits = String::new();
+                    for field in fields {
+                        inits.push_str(&de_named_field(field, "value", &context));
+                        inits.push('\n');
+                    }
+                    format!(
+                        "if value.as_map().is_none() {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         concat!(\"expected map for \", {context:?})));\n}}\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("::std::result::Result::Ok({name}(::serde::from_value(value)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::from_value(seq.get({i}).cloned().ok_or_else(|| \
+                                 ::serde::Error::custom(\"tuple struct too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let seq = value.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected sequence for tuple struct\"))?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::from_value(inner.clone())?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::from_value(seq.get({i}).cloned().ok_or_else(|| \
+                                     ::serde::Error::custom(\"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let seq = inner.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected sequence for tuple variant\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let context = format!("variant {name}::{vname}");
+                        let mut inits = String::new();
+                        for field in fields {
+                            inits.push_str(&de_named_field(field, "inner", &context));
+                            inits.push('\n');
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match &value {{\n\
+                 ::serde::Value::Str(variant_name) => match variant_name.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (variant_name, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match variant_name.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n}}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"invalid enum representation for {name}: {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n\
+         let value = deserializer.take_value()?;\n\
+         let result = (|| -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}})();\n\
+         result.map_err(D::Error::from)\n\
+         }}\n}}"
+    )
+}
