@@ -64,6 +64,40 @@ fn bench_ingest(c: &mut Criterion) {
             pipeline.stats().quic_valid
         })
     });
+    // Sharded ingest at increasing worker counts (deterministic merge
+    // included in the measurement — it is part of the cost).
+    for threads in [1u64, 2, 4, 8] {
+        group.bench_function(&format!("ingest_parallel_{threads}"), |b| {
+            b.iter(|| {
+                let (quic, baseline, stats) =
+                    quicsand_telescope::ingest_parallel(black_box(&s.records), threads as usize);
+                quic.len() + baseline.len() + stats.quic_valid as usize
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis_frontend(c: &mut Criterion) {
+    let s = scenario();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(s.records.len() as u64));
+    for threads in [1usize, 8] {
+        group.bench_function(&format!("run_threads_{threads}"), |b| {
+            b.iter(|| {
+                Analysis::run(
+                    black_box(s),
+                    &AnalysisConfig {
+                        threads,
+                        ..AnalysisConfig::default()
+                    },
+                )
+                .quic_attacks
+                .len()
+            })
+        });
+    }
     group.finish();
 }
 
@@ -128,6 +162,7 @@ criterion_group!(
     benches,
     bench_classify_and_dissect,
     bench_ingest,
+    bench_analysis_frontend,
     bench_sessions,
     bench_dos
 );

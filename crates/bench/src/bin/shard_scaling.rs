@@ -1,0 +1,84 @@
+//! Scaling curve of the sharded frontend: ingest + sessionize
+//! throughput at 1, 2, 4 and 8 shards on the ambient scale
+//! (`QUICSAND_SCALE`, default demo).
+//!
+//! ```text
+//! cargo run --release -p quicsand-bench --bin shard_scaling
+//! ```
+//!
+//! Prints, per thread count, the wall time and throughput of (a) the
+//! parallel ingest alone and (b) the full analysis frontend
+//! (ingest → sanitize → sessionize → DoS inference), plus the speedup
+//! over one shard. The acceptance bar for the parallel pipeline is
+//! ≥ 2× ingest+sessionize throughput at 8 shards vs 1 at demo scale.
+
+use quicsand_bench::Scale;
+use quicsand_core::{Analysis, AnalysisConfig};
+use quicsand_telescope::ingest_parallel;
+use quicsand_traffic::Scenario;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[quicsand] generating scenario (scale={}, set QUICSAND_SCALE=test|demo|paper to change)",
+        scale.label()
+    );
+    let scenario = Scenario::generate(&scale.scenario_config());
+    let records = &scenario.records;
+    println!(
+        "shard scaling over {} records ({} scale), {} cores available",
+        records.len(),
+        scale.label(),
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    if std::thread::available_parallelism().map_or(1, usize::from) == 1 {
+        println!(
+            "note: single-core host — expect ~1x at every shard count; \
+             the scaling target (>=2x at 8 shards) needs >=8 cores"
+        );
+    }
+    println!(
+        "{:>7}  {:>12} {:>12} {:>8}  {:>12} {:>12} {:>8}",
+        "shards", "ingest", "rec/s", "speedup", "frontend", "rec/s", "speedup"
+    );
+
+    let mut ingest_base = 0.0f64;
+    let mut frontend_base = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        // (a) Parallel ingest alone (classify + dissect).
+        let t0 = Instant::now();
+        let (quic, baseline, stats) = ingest_parallel(records, threads);
+        let ingest_s = t0.elapsed().as_secs_f64();
+        assert_eq!(stats.total, records.len() as u64);
+        // Keep the products observable so the work is not optimized out.
+        let sink = quic.len() + baseline.len();
+        assert!(sink > 0);
+
+        // (b) The full pipeline with the sharded frontend.
+        let t1 = Instant::now();
+        let analysis = Analysis::run(
+            &scenario,
+            &AnalysisConfig {
+                threads,
+                ..AnalysisConfig::default()
+            },
+        );
+        let frontend_s = t1.elapsed().as_secs_f64();
+        assert!(!analysis.quic_attacks.is_empty());
+
+        if threads == 1 {
+            ingest_base = ingest_s;
+            frontend_base = frontend_s;
+        }
+        println!(
+            "{threads:>7}  {:>10.2}s {:>12.0} {:>7.2}x  {:>10.2}s {:>12.0} {:>7.2}x",
+            ingest_s,
+            records.len() as f64 / ingest_s,
+            ingest_base / ingest_s,
+            frontend_s,
+            records.len() as f64 / frontend_s,
+            frontend_base / frontend_s,
+        );
+    }
+}

@@ -20,6 +20,7 @@ use quicsand_net::Duration;
 use quicsand_sessions::dos::{detect_attacks, Attack, AttackProtocol, DosThresholds};
 use quicsand_sessions::multivector::{classify_multivector, MultiVectorReport};
 use quicsand_sessions::session::{Session, SessionConfig, Sessionizer};
+use quicsand_telescope::parallel::{ingest_shard, partition_by_source};
 use quicsand_telescope::{
     HourlySeries, IngestStats, QuicObservation, ResearchFilter, TelescopePipeline,
 };
@@ -27,6 +28,12 @@ use quicsand_traffic::Scenario;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
+use std::time::Instant;
+
+/// Default worker count: one shard per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
 
 /// Pipeline parameters (the paper's §4.1 choices).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,6 +46,11 @@ pub struct AnalysisConfig {
     pub research_min_packets: u64,
     /// Behavioural research-scanner detection: minimum unique targets.
     pub research_min_dsts: u64,
+    /// Worker threads for the sharded ingest→sessionize stages.
+    /// `1` runs the single-threaded path; any value produces
+    /// byte-identical analysis products (the shard merge is
+    /// deterministic), so this only affects wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -48,8 +60,64 @@ impl Default for AnalysisConfig {
             thresholds: DosThresholds::moore(),
             research_min_packets: 500,
             research_min_dsts: 400,
+            threads: default_threads(),
         }
     }
+}
+
+/// Wall-clock and memory telemetry for one [`Analysis::run`].
+///
+/// Timings vary run to run, so this struct is deliberately *not* part
+/// of the deterministic analysis products (reports never include it);
+/// it is surfaced by `quicsand analyze` for operators.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Records ingested.
+    pub records: u64,
+    /// Ingest stage (classify + dissect) wall time, ms. In the
+    /// parallel path this is the slowest shard (critical path).
+    pub ingest_ms: f64,
+    /// Sanitize stage (research-scanner detection + split) wall time, ms.
+    pub sanitize_ms: f64,
+    /// Sessionization wall time, ms.
+    pub sessionize_ms: f64,
+    /// DoS inference + multi-vector correlation wall time, ms.
+    pub detect_ms: f64,
+    /// Sum of the sessionizers' open-session high-water marks — an
+    /// upper bound on simultaneously held per-source state, the
+    /// quantity the watermark expiry keeps O(active sources).
+    pub peak_open_sessions: usize,
+}
+
+impl PipelineStats {
+    /// Ingest throughput in records per second.
+    pub fn ingest_records_per_sec(&self) -> f64 {
+        if self.ingest_ms <= 0.0 {
+            0.0
+        } else {
+            self.records as f64 / (self.ingest_ms / 1_000.0)
+        }
+    }
+
+    fn max_stage(&mut self, other: &PipelineStats) {
+        self.ingest_ms = self.ingest_ms.max(other.ingest_ms);
+        self.sanitize_ms = self.sanitize_ms.max(other.sanitize_ms);
+        self.sessionize_ms = self.sessionize_ms.max(other.sessionize_ms);
+        self.peak_open_sessions += other.peak_open_sessions;
+    }
+}
+
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// Deterministic session order shared by the sequential and parallel
+/// paths: `(start, src)` is unique per sessionizer (one source has at
+/// most one session starting at a given instant).
+fn sort_sessions(sessions: &mut [Session]) {
+    sessions.sort_by_key(|s| (s.start, s.src));
 }
 
 /// All pipeline products.
@@ -83,19 +151,132 @@ pub struct Analysis {
     pub common_attacks: Vec<Attack>,
     /// Multi-vector correlation.
     pub multivector: MultiVectorReport,
+    /// Wall-clock/memory telemetry (non-deterministic; not part of any
+    /// report).
+    pub stats: PipelineStats,
     /// The configuration used.
     pub config: AnalysisConfig,
 }
 
+/// Everything stages 1–3 produce; stages 4–5 are computed on top by
+/// [`Analysis::run`], identically for both execution paths.
+struct FrontendProducts {
+    ingest: IngestStats,
+    research_sources: HashSet<Ipv4Addr>,
+    research_hourly: HourlySeries,
+    request_hourly: HourlySeries,
+    response_hourly: HourlySeries,
+    research_packets: u64,
+    requests: Vec<QuicObservation>,
+    responses: Vec<QuicObservation>,
+    request_sessions: Vec<Session>,
+    response_sessions: Vec<Session>,
+    common_sessions: Vec<Session>,
+    stats: PipelineStats,
+}
+
+/// One worker's output in the parallel path. The `requests` /
+/// `responses` carry original record indices so the merge can restore
+/// exact capture order.
+struct ShardProducts {
+    ingest: IngestStats,
+    research_sources: HashSet<Ipv4Addr>,
+    research_hourly: HourlySeries,
+    request_hourly: HourlySeries,
+    response_hourly: HourlySeries,
+    research_packets: u64,
+    requests: Vec<(usize, QuicObservation)>,
+    responses: Vec<(usize, QuicObservation)>,
+    request_sessions: Vec<Session>,
+    response_sessions: Vec<Session>,
+    common_sessions: Vec<Session>,
+    stats: PipelineStats,
+}
+
 impl Analysis {
     /// Runs the complete pipeline on a scenario.
+    ///
+    /// With `config.threads > 1` stages 1–3 are sharded by
+    /// `hash(src) % threads` across scoped worker threads; the merge
+    /// is deterministic, so every analysis product is byte-identical
+    /// at any thread count (only [`Analysis::stats`] differs).
     pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> Analysis {
+        let threads = config.threads.max(1);
+        let frontend = if threads == 1 {
+            Self::frontend_sequential(scenario, config)
+        } else {
+            Self::frontend_parallel(scenario, config, threads)
+        };
+        let FrontendProducts {
+            ingest,
+            research_sources,
+            research_hourly,
+            request_hourly,
+            response_hourly,
+            research_packets,
+            requests,
+            responses,
+            mut request_sessions,
+            mut response_sessions,
+            mut common_sessions,
+            mut stats,
+        } = frontend;
+
+        // Deterministic session order regardless of close order or
+        // shard interleaving.
+        sort_sessions(&mut request_sessions);
+        sort_sessions(&mut response_sessions);
+        sort_sessions(&mut common_sessions);
+
+        // 4. DoS inference.
+        let detect_start = Instant::now();
+        let quic_attacks =
+            detect_attacks(&response_sessions, AttackProtocol::Quic, &config.thresholds);
+        let common_attacks = detect_attacks(
+            &common_sessions,
+            AttackProtocol::TcpIcmp,
+            &config.thresholds,
+        );
+
+        // 5. Multi-vector correlation.
+        let multivector = classify_multivector(&quic_attacks, &common_attacks);
+        stats.detect_ms = ms(detect_start);
+        stats.threads = threads;
+        stats.records = ingest.total;
+
+        Analysis {
+            ingest,
+            research_sources,
+            research_hourly,
+            request_hourly,
+            response_hourly,
+            research_packets,
+            requests,
+            responses,
+            request_sessions,
+            response_sessions,
+            quic_attacks,
+            common_sessions,
+            common_attacks,
+            multivector,
+            stats,
+            config: *config,
+        }
+    }
+
+    /// Stages 1–3, single-threaded (the `threads == 1` path).
+    fn frontend_sequential(scenario: &Scenario, config: &AnalysisConfig) -> FrontendProducts {
+        let mut stats = PipelineStats::default();
+
         // 1. Ingest.
+        let ingest_start = Instant::now();
         let mut pipeline = TelescopePipeline::new();
         pipeline.ingest_all(&scenario.records);
         let (observations, baseline, ingest) = pipeline.finish();
+        stats.ingest_ms = ms(ingest_start);
 
         // 2. Sanitize: behavioural detection corroborated by PeeringDB.
+        let sanitize_start = Instant::now();
         let filter = ResearchFilter::detect_with_asdb(
             &observations,
             &scenario.world.asdb,
@@ -127,8 +308,10 @@ impl Analysis {
                 }
             }
         }
+        stats.sanitize_ms = ms(sanitize_start);
 
         // 3. Sessionize (observations are in capture order).
+        let sessionize_start = Instant::now();
         let session_config = SessionConfig {
             timeout: config.session_timeout,
         };
@@ -136,33 +319,23 @@ impl Analysis {
         for obs in &requests {
             request_sessionizer.offer(obs.ts, obs.src);
         }
-        let request_sessions = request_sessionizer.finish();
-
         let mut response_sessionizer = Sessionizer::new(session_config);
         for obs in &responses {
             response_sessionizer.offer(obs.ts, obs.src);
         }
-        let response_sessions = response_sessionizer.finish();
-
         let mut common_sessionizer = Sessionizer::new(session_config);
         for record in &baseline {
             common_sessionizer.offer(record.ts, record.src);
         }
+        stats.peak_open_sessions = request_sessionizer.peak_open_count()
+            + response_sessionizer.peak_open_count()
+            + common_sessionizer.peak_open_count();
+        let request_sessions = request_sessionizer.finish();
+        let response_sessions = response_sessionizer.finish();
         let common_sessions = common_sessionizer.finish();
+        stats.sessionize_ms = ms(sessionize_start);
 
-        // 4. DoS inference.
-        let quic_attacks =
-            detect_attacks(&response_sessions, AttackProtocol::Quic, &config.thresholds);
-        let common_attacks = detect_attacks(
-            &common_sessions,
-            AttackProtocol::TcpIcmp,
-            &config.thresholds,
-        );
-
-        // 5. Multi-vector correlation.
-        let multivector = classify_multivector(&quic_attacks, &common_attacks);
-
-        Analysis {
+        FrontendProducts {
             ingest,
             research_sources,
             research_hourly,
@@ -173,11 +346,175 @@ impl Analysis {
             responses,
             request_sessions,
             response_sessions,
-            quic_attacks,
             common_sessions,
-            common_attacks,
-            multivector,
-            config: *config,
+            stats,
+        }
+    }
+
+    /// Stages 1–3 sharded by `hash(src) % threads` across scoped
+    /// worker threads.
+    ///
+    /// Every per-source computation (dissection is per-packet;
+    /// research detection, sessionization and the hourly split are
+    /// per-source) sees exactly the packets it would see sequentially,
+    /// because a source's packets all land in one shard in capture
+    /// order. The merge restores capture order via the original record
+    /// indices, so the output equals the sequential path bit for bit.
+    fn frontend_parallel(
+        scenario: &Scenario,
+        config: &AnalysisConfig,
+        threads: usize,
+    ) -> FrontendProducts {
+        let records = &scenario.records;
+        let asdb = &scenario.world.asdb;
+        let session_config = SessionConfig {
+            timeout: config.session_timeout,
+        };
+        let buckets = partition_by_source(records, threads);
+
+        let run_shard = |indices: &[usize]| -> ShardProducts {
+            let mut stats = PipelineStats::default();
+
+            // 1. Ingest (this shard's records only).
+            let ingest_start = Instant::now();
+            let shard = ingest_shard(records, indices);
+            stats.ingest_ms = ms(ingest_start);
+
+            // 2. Sanitize. Research detection is a per-source
+            // aggregation, and sources never span shards, so the
+            // per-shard result is the global result restricted to
+            // this shard.
+            let sanitize_start = Instant::now();
+            let filter = ResearchFilter::detect_with_asdb(
+                &shard.quic,
+                asdb,
+                config.research_min_packets,
+                config.research_min_dsts,
+            );
+            let research_sources = filter.sources().clone();
+
+            let mut research_hourly = HourlySeries::new();
+            let mut request_hourly = HourlySeries::new();
+            let mut response_hourly = HourlySeries::new();
+            let mut research_packets = 0u64;
+            let mut requests = Vec::new();
+            let mut responses = Vec::new();
+            for (obs, index) in shard.quic.into_iter().zip(shard.quic_index) {
+                if filter.is_research(obs.src) {
+                    research_packets += 1;
+                    research_hourly.add(obs.ts);
+                    continue;
+                }
+                match obs.direction {
+                    Direction::Request => {
+                        request_hourly.add(obs.ts);
+                        requests.push((index, obs));
+                    }
+                    Direction::Response => {
+                        response_hourly.add(obs.ts);
+                        responses.push((index, obs));
+                    }
+                }
+            }
+            stats.sanitize_ms = ms(sanitize_start);
+
+            // 3. Sessionize this shard's per-source streams.
+            let sessionize_start = Instant::now();
+            let mut request_sessionizer = Sessionizer::new(session_config);
+            for (_, obs) in &requests {
+                request_sessionizer.offer(obs.ts, obs.src);
+            }
+            let mut response_sessionizer = Sessionizer::new(session_config);
+            for (_, obs) in &responses {
+                response_sessionizer.offer(obs.ts, obs.src);
+            }
+            let mut common_sessionizer = Sessionizer::new(session_config);
+            for record in &shard.baseline {
+                common_sessionizer.offer(record.ts, record.src);
+            }
+            stats.peak_open_sessions = request_sessionizer.peak_open_count()
+                + response_sessionizer.peak_open_count()
+                + common_sessionizer.peak_open_count();
+            let request_sessions = request_sessionizer.finish();
+            let response_sessions = response_sessionizer.finish();
+            let common_sessions = common_sessionizer.finish();
+            stats.sessionize_ms = ms(sessionize_start);
+
+            ShardProducts {
+                ingest: shard.stats,
+                research_sources,
+                research_hourly,
+                request_hourly,
+                response_hourly,
+                research_packets,
+                requests,
+                responses,
+                request_sessions,
+                response_sessions,
+                common_sessions,
+                stats,
+            }
+        };
+
+        let run_shard = &run_shard;
+        let shards: Vec<ShardProducts> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .iter()
+                .map(|indices| scope.spawn(move |_| run_shard(indices)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("analysis shard worker panicked"))
+                .collect()
+        })
+        .expect("analysis scope panicked");
+
+        // Deterministic merge.
+        let mut ingest = IngestStats::default();
+        let mut research_sources = HashSet::new();
+        let mut research_hourly = HourlySeries::new();
+        let mut request_hourly = HourlySeries::new();
+        let mut response_hourly = HourlySeries::new();
+        let mut research_packets = 0u64;
+        let mut tagged_requests: Vec<(usize, QuicObservation)> = Vec::new();
+        let mut tagged_responses: Vec<(usize, QuicObservation)> = Vec::new();
+        let mut request_sessions = Vec::new();
+        let mut response_sessions = Vec::new();
+        let mut common_sessions = Vec::new();
+        let mut stats = PipelineStats::default();
+        for shard in shards {
+            ingest.merge(&shard.ingest);
+            research_sources.extend(shard.research_sources);
+            research_hourly.merge(&shard.research_hourly);
+            request_hourly.merge(&shard.request_hourly);
+            response_hourly.merge(&shard.response_hourly);
+            research_packets += shard.research_packets;
+            tagged_requests.extend(shard.requests);
+            tagged_responses.extend(shard.responses);
+            request_sessions.extend(shard.request_sessions);
+            response_sessions.extend(shard.response_sessions);
+            common_sessions.extend(shard.common_sessions);
+            stats.max_stage(&shard.stats);
+        }
+        // Original record indices are unique → deterministic order.
+        tagged_requests.sort_unstable_by_key(|(index, _)| *index);
+        tagged_responses.sort_unstable_by_key(|(index, _)| *index);
+        let requests = tagged_requests.into_iter().map(|(_, obs)| obs).collect();
+        let responses = tagged_responses.into_iter().map(|(_, obs)| obs).collect();
+
+        FrontendProducts {
+            ingest,
+            research_sources,
+            research_hourly,
+            request_hourly,
+            response_hourly,
+            research_packets,
+            requests,
+            responses,
+            request_sessions,
+            response_sessions,
+            common_sessions,
+            stats,
         }
     }
 
@@ -312,6 +649,50 @@ mod tests {
         for o in obs {
             assert_eq!(o.src, attack.victim);
         }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_product() {
+        let scenario = Scenario::generate(&ScenarioConfig::test());
+        let run_with = |threads: usize| {
+            Analysis::run(
+                &scenario,
+                &AnalysisConfig {
+                    threads,
+                    ..AnalysisConfig::default()
+                },
+            )
+        };
+        let sequential = run_with(1);
+        for threads in [2usize, 3, 8] {
+            let parallel = run_with(threads);
+            assert_eq!(parallel.ingest, sequential.ingest, "{threads} threads");
+            assert_eq!(parallel.research_sources, sequential.research_sources);
+            assert_eq!(parallel.research_hourly, sequential.research_hourly);
+            assert_eq!(parallel.request_hourly, sequential.request_hourly);
+            assert_eq!(parallel.response_hourly, sequential.response_hourly);
+            assert_eq!(parallel.research_packets, sequential.research_packets);
+            assert_eq!(parallel.requests, sequential.requests);
+            assert_eq!(parallel.responses, sequential.responses);
+            assert_eq!(parallel.request_sessions, sequential.request_sessions);
+            assert_eq!(parallel.response_sessions, sequential.response_sessions);
+            assert_eq!(parallel.common_sessions, sequential.common_sessions);
+            assert_eq!(parallel.quic_attacks, sequential.quic_attacks);
+            assert_eq!(parallel.common_attacks, sequential.common_attacks);
+            assert_eq!(
+                parallel.multivector.class_counts,
+                sequential.multivector.class_counts
+            );
+            assert_eq!(parallel.stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn pipeline_stats_are_populated() {
+        let (_, a) = analysis();
+        assert_eq!(a.stats.records, a.ingest.total);
+        assert!(a.stats.peak_open_sessions > 0);
+        assert!(a.stats.ingest_records_per_sec() > 0.0);
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub mod experiments;
 pub mod plot;
 pub mod report;
 
-pub use analysis::{Analysis, AnalysisConfig};
+pub use analysis::{default_threads, Analysis, AnalysisConfig, PipelineStats};
 pub use report::{Finding, Report};

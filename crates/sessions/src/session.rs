@@ -100,12 +100,25 @@ impl OpenSession {
 /// Streaming sessionizer. Feed packets in non-decreasing time order;
 /// closed sessions are buffered and drained via [`Sessionizer::drain`] /
 /// [`Sessionizer::finish`].
+///
+/// Memory is bounded by the number of *recently active* sources: the
+/// advancing packet-time watermark drives an idle-session sweep
+/// ([`Sessionizer::expire`]), so a source that goes silent is closed
+/// out and its state dropped even if it never sends again. Without
+/// this, one-shot sources (the overwhelming majority at a telescope)
+/// would accumulate in `open` for the whole capture.
 #[derive(Debug)]
 pub struct Sessionizer {
     config: SessionConfig,
     open: HashMap<Ipv4Addr, OpenSession>,
     closed: Vec<Session>,
     last_ts: Timestamp,
+    /// Watermark of the last idle sweep (amortizes [`Self::expire`] to
+    /// one scan of `open` per timeout interval).
+    last_sweep: Timestamp,
+    /// High-water mark of `open.len()` — surfaced in pipeline stats to
+    /// verify the memory bound.
+    peak_open: usize,
 }
 
 impl Sessionizer {
@@ -116,6 +129,8 @@ impl Sessionizer {
             open: HashMap::new(),
             closed: Vec::new(),
             last_ts: Timestamp::EPOCH,
+            last_sweep: Timestamp::EPOCH,
+            peak_open: 0,
         }
     }
 
@@ -129,6 +144,14 @@ impl Sessionizer {
             self.last_ts
         );
         self.last_ts = ts;
+        // Amortized idle sweep: once the watermark has advanced a full
+        // timeout past the previous sweep, every session untouched
+        // since then is expired. Keeps `open` at O(sources active in
+        // the last 2·timeout window) at a cost of one scan per timeout
+        // interval.
+        if ts.saturating_since(self.last_sweep) > self.config.timeout {
+            self.expire(ts);
+        }
         let minute = ts.minute_bucket();
         match self.open.get_mut(&src) {
             Some(open) if ts.saturating_since(open.last) <= self.config.timeout => {
@@ -161,10 +184,51 @@ impl Sessionizer {
                 );
             }
         }
+        if self.open.len() > self.peak_open {
+            self.peak_open = self.open.len();
+        }
     }
 
-    /// Takes the sessions closed so far.
+    /// Closes every open session whose source has been idle longer than
+    /// the timeout as of the watermark `now`, moving them to the closed
+    /// buffer. Sessions are closed in deterministic `(start, src)`
+    /// order regardless of hash-map iteration order.
+    ///
+    /// The produced sessions are identical to what a later gap-close
+    /// (on the source's next packet) or [`Sessionizer::finish`] would
+    /// emit — expiry only changes *when* state is released, never the
+    /// session boundaries.
+    pub fn expire(&mut self, now: Timestamp) {
+        let timeout = self.config.timeout;
+        let mut expired: Vec<Ipv4Addr> = self
+            .open
+            .iter()
+            .filter(|(_, open)| now.saturating_since(open.last) > timeout)
+            .map(|(src, _)| *src)
+            .collect();
+        if expired.is_empty() {
+            self.last_sweep = now;
+            return;
+        }
+        // Deterministic close order (drain() exposes this ordering).
+        expired.sort_by_key(|src| {
+            let open = &self.open[src];
+            (open.start, *src)
+        });
+        for src in expired {
+            let open = self.open.remove(&src).expect("expired source is open");
+            self.closed.push(open.close(src));
+        }
+        self.last_sweep = now;
+    }
+
+    /// Takes the sessions closed so far, after first expiring every
+    /// session already idle past the timeout at the current watermark.
+    /// A source that times out therefore shows up here without waiting
+    /// for its next packet (which may never come) or for
+    /// [`Sessionizer::finish`].
     pub fn drain(&mut self) -> Vec<Session> {
+        self.expire(self.last_ts);
         std::mem::take(&mut self.closed)
     }
 
@@ -182,6 +246,19 @@ impl Sessionizer {
     /// Number of currently open sessions.
     pub fn open_count(&self) -> usize {
         self.open.len()
+    }
+
+    /// High-water mark of concurrently open sessions over the
+    /// sessionizer's lifetime — the memory bound the idle sweep
+    /// enforces.
+    pub fn peak_open_count(&self) -> usize {
+        self.peak_open
+    }
+
+    /// Number of closed sessions currently buffered (i.e. what the next
+    /// [`Sessionizer::drain`] would return at minimum).
+    pub fn closed_count(&self) -> usize {
+        self.closed.len()
     }
 }
 
@@ -377,12 +454,86 @@ mod tests {
         s.offer(Timestamp::from_secs(0), ip(2));
         assert_eq!(s.open_count(), 2);
         assert!(s.drain().is_empty());
-        // ip(1) times out when its next packet arrives late.
+        // The packet at t=100 advances the watermark past both idle
+        // sessions: ip(1)'s old session and ip(2)'s are expired, and
+        // ip(1) starts a fresh session.
         s.offer(Timestamp::from_secs(100), ip(1));
         let drained = s.drain();
-        assert_eq!(drained.len(), 1);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(s.open_count(), 1);
+    }
+
+    #[test]
+    fn drain_yields_timed_out_sessions_without_further_packets() {
+        // Regression: drain() must surface sessions whose source went
+        // silent past the timeout, even if that source never sends
+        // again. Previously such sessions stayed in `open` until
+        // finish(), growing memory with every one-shot source.
+        let mut s = Sessionizer::new(cfg(10));
+        s.offer(Timestamp::from_secs(0), ip(1));
+        s.offer(Timestamp::from_secs(2), ip(1));
+        // Another source advances the watermark far past ip(1)+timeout.
+        s.offer(Timestamp::from_secs(60), ip(2));
+        let drained = s.drain();
+        assert_eq!(drained.len(), 1, "idle ip(1) session must drain");
         assert_eq!(drained[0].src, ip(1));
-        assert_eq!(s.open_count(), 2);
+        assert_eq!(drained[0].packet_count, 2);
+        assert_eq!(drained[0].end, Timestamp::from_secs(2));
+        // The pre-fix behaviour — idle session still open — is gone.
+        assert_eq!(s.open_count(), 1);
+    }
+
+    #[test]
+    fn expire_bounds_open_sessions_for_one_shot_sources() {
+        // 200 one-shot sources spread over time, timeout 10 s, one
+        // packet every 1 s: the amortized sweep keeps `open` bounded by
+        // the ~2·timeout window, not the full source count.
+        let mut s = Sessionizer::new(cfg(10));
+        for i in 0..200u64 {
+            s.offer(Timestamp::from_secs(i), ip((i % 250) as u8));
+        }
+        assert!(
+            s.peak_open_count() <= 23,
+            "peak open {} must stay within the 2·timeout window",
+            s.peak_open_count()
+        );
+        let total: u64 = s.finish().iter().map(|x| x.packet_count).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn expire_is_invisible_to_finish_output() {
+        // Interleaving drains (which expire) must not change the final
+        // session set relative to a run that only calls finish().
+        let packets: Vec<(Timestamp, Ipv4Addr)> = (0..300u64)
+            .map(|i| (Timestamp::from_secs(i * 7 % 2_000), ip((i % 9) as u8)))
+            .collect();
+        let mut ordered = packets;
+        ordered.sort_by_key(|(ts, _)| *ts);
+
+        let baseline = sessionize(ordered.iter().copied(), cfg(60));
+
+        let mut s = Sessionizer::new(cfg(60));
+        let mut collected = Vec::new();
+        for (i, (ts, src)) in ordered.iter().enumerate() {
+            s.offer(*ts, *src);
+            if i % 37 == 0 {
+                collected.extend(s.drain());
+            }
+        }
+        collected.extend(s.finish());
+        collected.sort_by_key(|x| (x.start, x.src));
+        assert_eq!(collected, baseline);
+    }
+
+    #[test]
+    fn expire_with_stale_watermark_is_a_no_op() {
+        let mut s = Sessionizer::new(cfg(10));
+        s.offer(Timestamp::from_secs(100), ip(1));
+        // A watermark in the past can never make a session idle.
+        s.expire(Timestamp::from_secs(0));
+        assert_eq!(s.open_count(), 1);
+        assert_eq!(s.closed_count(), 0);
     }
 
     #[test]

@@ -31,6 +31,14 @@ impl HourlySeries {
         self.counts.get(&hour).copied().unwrap_or(0)
     }
 
+    /// Merges another series into this one (bucket-wise sum) — used
+    /// to combine per-shard series from the parallel pipeline.
+    pub fn merge(&mut self, other: &HourlySeries) {
+        for (&hour, &count) in &other.counts {
+            *self.counts.entry(hour).or_default() += count;
+        }
+    }
+
     /// Total events.
     pub fn total(&self) -> u64 {
         self.counts.values().sum()
@@ -111,6 +119,21 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_buckets() {
+        let mut a = HourlySeries::new();
+        a.add_n(Timestamp::from_secs(0), 3);
+        a.add_n(Timestamp::from_secs(3_600), 1);
+        let mut b = HourlySeries::new();
+        b.add_n(Timestamp::from_secs(0), 2);
+        b.add_n(Timestamp::from_secs(7_200), 4);
+        a.merge(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 4);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
     fn dense_includes_zeros() {
         let mut s = HourlySeries::new();
         s.add(Timestamp::from_secs(3_600));
@@ -142,9 +165,9 @@ mod tests {
     #[test]
     fn hour_of_day_profile_partial_last_day() {
         let mut s = HourlySeries::new();
-        s.add_n(Timestamp::from_secs(3_600), 10); // hour-of-day 1, day 0
-        // 30-hour period: hour-of-day 1 occurs twice (h1, h25); slot 12
-        // occurs once (h12).
+        // Hour-of-day 1 on day 0. 30-hour period: hour-of-day 1 occurs
+        // twice (h1, h25); slot 12 occurs once (h12).
+        s.add_n(Timestamp::from_secs(3_600), 10);
         s.add_n(Timestamp::from_secs(12 * 3_600), 7);
         let profile = s.hour_of_day_profile(30);
         assert_eq!(profile[1], 5.0);

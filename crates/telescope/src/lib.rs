@@ -8,14 +8,20 @@
 //!    sanitization step;
 //! 3. bin observations over time ([`binning`]) — the Figs. 2/3 hourly
 //!    series.
+//!
+//! For multi-core captures, [`parallel`] shards the ingest by
+//! `hash(src) % N` across scoped worker threads with a deterministic
+//! merge — byte-identical output at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binning;
 pub mod filter;
+pub mod parallel;
 pub mod pipeline;
 
 pub use binning::HourlySeries;
 pub use filter::ResearchFilter;
+pub use parallel::{ingest_parallel, shard_of};
 pub use pipeline::{IngestStats, QuicObservation, TelescopePipeline};

@@ -52,6 +52,26 @@ pub struct IngestStats {
     pub other_udp: u64,
     /// Packets with both ports 443 (the paper observed none).
     pub ambiguous: u64,
+    /// Records whose classification disagreed with their transport
+    /// (e.g. a QUIC candidate without a UDP payload). Real captures
+    /// contain truncated or corrupt records; the pipeline drops them
+    /// instead of panicking.
+    pub malformed: u64,
+}
+
+impl IngestStats {
+    /// Merges another shard's counters into this one (field-wise sum).
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.total += other.total;
+        self.quic_candidates += other.quic_candidates;
+        self.quic_valid += other.quic_valid;
+        self.quic_false_positives += other.quic_false_positives;
+        self.tcp += other.tcp;
+        self.icmp += other.icmp;
+        self.other_udp += other.other_udp;
+        self.ambiguous += other.ambiguous;
+        self.malformed += other.malformed;
+    }
 }
 
 /// The telescope pipeline. Feed records in capture order; collect
@@ -71,13 +91,36 @@ impl TelescopePipeline {
 
     /// Ingests one record.
     pub fn ingest(&mut self, record: &PacketRecord) {
+        self.ingest_classified(record, classify_record(record));
+    }
+
+    /// Ingests one record under an externally supplied classification.
+    ///
+    /// This is the panic-free core of [`ingest`](Self::ingest): if the
+    /// classification claims a QUIC candidate but the record lacks a
+    /// UDP payload or ports (truncated capture, forged metadata), the
+    /// record is counted in [`IngestStats::malformed`] and dropped
+    /// rather than crashing the whole run.
+    pub fn ingest_classified(&mut self, record: &PacketRecord, classification: Classification) {
         self.stats.total += 1;
-        match classify_record(record) {
+        match classification {
             Classification::QuicCandidate(direction) => {
                 self.stats.quic_candidates += 1;
-                let payload = record
-                    .udp_payload()
-                    .expect("UDP classification implies UDP payload");
+                let (payload, src_port, dst_port) = match (
+                    record.udp_payload(),
+                    record.transport.src_port(),
+                    record.transport.dst_port(),
+                ) {
+                    (Some(payload), Some(src_port), Some(dst_port)) => {
+                        (payload, src_port, dst_port)
+                    }
+                    _ => {
+                        // Classification disagrees with the transport:
+                        // degrade gracefully instead of panicking.
+                        self.stats.malformed += 1;
+                        return;
+                    }
+                };
                 match dissect_udp_payload(payload) {
                     Ok(dissected) => {
                         self.stats.quic_valid += 1;
@@ -85,8 +128,8 @@ impl TelescopePipeline {
                             ts: record.ts,
                             src: record.src,
                             dst: record.dst,
-                            src_port: record.transport.src_port().expect("udp has ports"),
-                            dst_port: record.transport.dst_port().expect("udp has ports"),
+                            src_port,
+                            dst_port,
                             direction,
                             dissected,
                         });
@@ -236,6 +279,53 @@ mod tests {
         assert_eq!(quic.len(), 2);
         assert!(baseline.is_empty());
         assert_eq!(stats.total, 2);
+    }
+
+    #[test]
+    fn forged_quic_classification_on_non_udp_record_is_malformed_not_panic() {
+        // A corrupt capture can mislabel a record: here an ICMP record
+        // arrives with a QUIC-candidate classification. The pipeline
+        // must count it as malformed and keep going — the seed
+        // version panicked on `udp_payload().expect(..)`.
+        let mut p = TelescopePipeline::new();
+        let icmp = PacketRecord::icmp(Timestamp::from_secs(1), ip(1), ip(2), IcmpKind::EchoReply);
+        p.ingest_classified(&icmp, Classification::QuicCandidate(Direction::Request));
+        assert_eq!(p.stats().total, 1);
+        assert_eq!(p.stats().quic_candidates, 1);
+        assert_eq!(p.stats().malformed, 1);
+        assert_eq!(p.stats().quic_valid, 0);
+        assert_eq!(p.stats().quic_false_positives, 0);
+        assert!(p.quic_observations().is_empty());
+
+        // A well-formed record afterwards is still processed normally.
+        p.ingest(&quic_record(2));
+        assert_eq!(p.stats().quic_valid, 1);
+        assert_eq!(p.quic_observations().len(), 1);
+    }
+
+    #[test]
+    fn ingest_stats_merge_sums_fields() {
+        let mut a = IngestStats {
+            total: 3,
+            quic_candidates: 2,
+            quic_valid: 1,
+            quic_false_positives: 1,
+            tcp: 1,
+            ..IngestStats::default()
+        };
+        let b = IngestStats {
+            total: 4,
+            icmp: 2,
+            other_udp: 1,
+            ambiguous: 1,
+            malformed: 1,
+            ..IngestStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total, 7);
+        assert_eq!(a.quic_candidates, 2);
+        assert_eq!(a.icmp, 2);
+        assert_eq!(a.malformed, 1);
     }
 
     #[test]

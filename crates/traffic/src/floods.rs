@@ -158,11 +158,10 @@ pub fn plan(world: &SyntheticInternet, config: &ScenarioConfig) -> AttackPlan {
     // provider from the active-scan registry. ---
     let victims: Vec<(Ipv4Addr, Provider)> = {
         let total_attacks: f64 = counts.iter().sum::<u64>() as f64;
-        let mut budgets: Vec<(Provider, f64)> =
-            quicsand_intel::topology::PROVIDER_ATTACK_SHARES
-                .iter()
-                .map(|(p, share)| (*p, share * total_attacks))
-                .collect();
+        let mut budgets: Vec<(Provider, f64)> = quicsand_intel::topology::PROVIDER_ATTACK_SHARES
+            .iter()
+            .map(|(p, share)| (*p, share * total_attacks))
+            .collect();
         let mut used: std::collections::HashSet<Ipv4Addr> = std::collections::HashSet::new();
         let mut slot_order: Vec<usize> = (0..counts.len()).collect();
         slot_order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));

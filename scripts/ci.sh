@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format, lint.
+#
+#   scripts/ci.sh           # everything (what a PR must pass)
+#   scripts/ci.sh --quick   # skip the release build, run debug tests only
+#
+# The repo vendors all third-party dependencies (vendor/), so this runs
+# without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if [[ $quick -eq 0 ]]; then
+  echo "==> cargo build --release --workspace"
+  cargo build --release --workspace
+  echo "==> cargo test -q --release --workspace"
+  cargo test -q --release --workspace
+else
+  echo "==> cargo test -q --workspace"
+  cargo test -q --workspace
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

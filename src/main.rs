@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! quicsand generate --out capture.qscp [--scale test|demo|paper] [--seed N]
-//! quicsand analyze <capture.qscp>
+//! quicsand analyze <capture.qscp> [--threads N]
 //! quicsand replay --pps 1000 [--requests 300001] [--workers 4] [--retry|--adaptive 0.5]
 //! quicsand experiments [--scale test|demo|paper]
 //! ```
@@ -49,8 +49,10 @@ USAGE:
     quicsand generate --out <file.qscp> [--scale test|demo|paper] [--seed N]
         Generate a synthetic telescope capture and write it to disk.
 
-    quicsand analyze <file.qscp>
+    quicsand analyze <file.qscp> [--threads N]
         Run the sessionization + DoS-inference pipeline on a capture.
+        --threads shards ingest+sessionization by source across N
+        workers (default: all cores); results are identical at any N.
 
     quicsand replay --pps <rate> [--requests N] [--workers N]
                     [--retry | --adaptive <occupancy>]
@@ -61,22 +63,48 @@ USAGE:
         Convert a capture to classic libpcap (raw-IP linktype) for
         inspection in Wireshark.
 
-    quicsand experiments [--scale test|demo|paper]
+    quicsand experiments [--scale test|demo|paper] [--threads N]
         Regenerate every paper table/figure and print the reports.";
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Looks up the value following `name`.
+///
+/// `Ok(None)` when the flag is absent; an error when the flag is
+/// present but its value is missing or looks like another flag
+/// (`--out --scale` used to happily write a file named `--scale`).
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(value) if value.starts_with("--") => Err(format!(
+            "flag {name} expects a value, but got the flag `{value}`"
+        )),
+        Some(value) => Ok(Some(value.as_str())),
+        None => Err(format!("flag {name} is missing its value")),
+    }
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Builds the `AnalysisConfig`, honouring `--threads N`.
+fn analysis_config(args: &[String]) -> Result<AnalysisConfig, String> {
+    let mut config = AnalysisConfig::default();
+    if let Some(threads) = flag_value(args, "--threads")? {
+        config.threads = threads
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or(format!(
+                "invalid --threads `{threads}` (want an integer >= 1)"
+            ))?;
+    }
+    Ok(config)
+}
+
 fn scale_config(args: &[String]) -> Result<ScenarioConfig, String> {
-    let mut config = match flag_value(args, "--scale").unwrap_or("test") {
+    let mut config = match flag_value(args, "--scale")?.unwrap_or("test") {
         "test" => ScenarioConfig::test(),
         "demo" => {
             // The demo preset mirrors quicsand-bench's.
@@ -95,14 +123,14 @@ fn scale_config(args: &[String]) -> Result<ScenarioConfig, String> {
         "paper" => ScenarioConfig::paper_month(),
         other => return Err(format!("unknown scale `{other}`")),
     };
-    if let Some(seed) = flag_value(args, "--seed") {
+    if let Some(seed) = flag_value(args, "--seed")? {
         config.seed = seed.parse().map_err(|_| format!("invalid seed `{seed}`"))?;
     }
     Ok(config)
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let out = flag_value(args, "--out").ok_or("generate requires --out <file>")?;
+    let out = flag_value(args, "--out")?.ok_or("generate requires --out <file>")?;
     let config = scale_config(args)?;
     eprintln!(
         "generating scenario (seed {:#x}, {} days)...",
@@ -127,11 +155,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// First positional argument: not a flag, and not a flag's value.
+fn positional(args: &[String]) -> Option<&String> {
+    args.iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || !args[*i - 1].starts_with("--")))
+        .map(|(_, a)| a)
+}
+
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("analyze requires a capture path")?;
+    // Validate flags before touching the filesystem.
+    let analysis_cfg = analysis_config(args)?;
+    let path = positional(args).ok_or("analyze requires a capture path")?;
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let reader =
         CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
@@ -164,12 +199,30 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         },
         config,
     };
-    let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+    let analysis = Analysis::run(&scenario, &analysis_cfg);
 
     let stats = &analysis.ingest;
     println!(
-        "ingest: {} records, {} valid QUIC, {} false positives, {} TCP, {} ICMP",
-        stats.total, stats.quic_valid, stats.quic_false_positives, stats.tcp, stats.icmp
+        "ingest: {} records, {} valid QUIC, {} false positives, {} TCP, {} ICMP, {} malformed",
+        stats.total,
+        stats.quic_valid,
+        stats.quic_false_positives,
+        stats.tcp,
+        stats.icmp,
+        stats.malformed
+    );
+    let pipeline = &analysis.stats;
+    println!(
+        "pipeline: {} thread(s), {:.0} records/s ingest; stage walltime \
+         ingest {:.1}ms / sanitize {:.1}ms / sessionize {:.1}ms / detect {:.1}ms; \
+         peak open sessions {}",
+        pipeline.threads,
+        pipeline.ingest_records_per_sec(),
+        pipeline.ingest_ms,
+        pipeline.sanitize_ms,
+        pipeline.sessionize_ms,
+        pipeline.detect_ms,
+        pipeline.peak_open_sessions
     );
     println!(
         "sanitized: {} requests / {} responses after removing {} research packets from {} scanner(s)",
@@ -214,19 +267,19 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     use quicsand_server::model::{RetryPolicy, ServerConfig};
     use quicsand_server::replay::{replay_flood, ReplayConfig};
 
-    let pps: u64 = flag_value(args, "--pps")
+    let pps: u64 = flag_value(args, "--pps")?
         .ok_or("replay requires --pps <rate>")?
         .parse()
         .map_err(|_| "invalid --pps")?;
-    let requests: u64 = flag_value(args, "--requests")
+    let requests: u64 = flag_value(args, "--requests")?
         .map(|v| v.parse().map_err(|_| "invalid --requests"))
         .transpose()?
         .unwrap_or(pps * 300 + 1);
-    let workers: usize = flag_value(args, "--workers")
+    let workers: usize = flag_value(args, "--workers")?
         .map(|v| v.parse().map_err(|_| "invalid --workers"))
         .transpose()?
         .unwrap_or(4);
-    let retry_policy = if let Some(threshold) = flag_value(args, "--adaptive") {
+    let retry_policy = if let Some(threshold) = flag_value(args, "--adaptive")? {
         RetryPolicy::Adaptive {
             occupancy_threshold: threshold.parse().map_err(|_| "invalid --adaptive")?,
         }
@@ -261,11 +314,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_export(args: &[String]) -> Result<(), String> {
-    let input = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("export requires a capture path")?;
-    let output = flag_value(args, "--pcap").ok_or("export requires --pcap <file>")?;
+    let input = positional(args).ok_or("export requires a capture path")?;
+    let output = flag_value(args, "--pcap")?.ok_or("export requires --pcap <file>")?;
     let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
     let reader =
         CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
@@ -289,7 +339,7 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
     let config = scale_config(args)?;
     eprintln!("generating scenario (seed {:#x})...", config.seed);
     let scenario = Scenario::generate(&config);
-    let analysis = Analysis::run(&scenario, &AnalysisConfig::default());
+    let analysis = Analysis::run(&scenario, &analysis_config(args)?);
     let reports = vec![
         exp::fig02::run(&scenario, &analysis),
         exp::fig03::run(&scenario, &analysis),

@@ -56,7 +56,7 @@ fn generate_then_analyze_roundtrip() {
     std::fs::remove_file(&pcap).unwrap();
 
     let analyze = Command::new(bin())
-        .args(["analyze", capture.to_str().unwrap()])
+        .args(["analyze", capture.to_str().unwrap(), "--threads", "2"])
         .output()
         .expect("run analyze");
     assert!(
@@ -67,8 +67,71 @@ fn generate_then_analyze_roundtrip() {
     let stdout = String::from_utf8_lossy(&analyze.stdout);
     assert!(stdout.contains("QUIC floods:"), "stdout: {stdout}");
     assert!(stdout.contains("multi-vector:"), "stdout: {stdout}");
+    assert!(stdout.contains("pipeline: 2 thread(s)"), "stdout: {stdout}");
+
+    // The analysis products must not depend on the thread count: the
+    // deterministic report lines (everything except the walltime
+    // `pipeline:` line) are byte-identical across --threads values.
+    let strip = |out: &[u8]| -> String {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| !l.starts_with("pipeline:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    for threads in ["1", "8"] {
+        let rerun = Command::new(bin())
+            .args(["analyze", capture.to_str().unwrap(), "--threads", threads])
+            .output()
+            .expect("run analyze");
+        assert!(rerun.status.success());
+        assert_eq!(
+            strip(&rerun.stdout),
+            strip(&analyze.stdout),
+            "--threads {threads} changed the analysis output"
+        );
+    }
 
     std::fs::remove_file(&capture).unwrap();
+}
+
+#[test]
+fn flag_followed_by_flag_is_rejected() {
+    // `--out --scale` used to write a capture file literally named
+    // `--scale`.
+    let output = Command::new(bin())
+        .args(["generate", "--out", "--scale", "test"])
+        .output()
+        .expect("run generate");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--out") && stderr.contains("expects a value"),
+        "stderr: {stderr}"
+    );
+    assert!(!std::path::Path::new("--scale").exists());
+}
+
+#[test]
+fn flag_missing_value_is_rejected() {
+    let output = Command::new(bin())
+        .args(["generate", "--out"])
+        .output()
+        .expect("run generate");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("missing its value"), "stderr: {stderr}");
+}
+
+#[test]
+fn invalid_threads_is_rejected() {
+    let output = Command::new(bin())
+        .args(["analyze", "whatever.qscp", "--threads", "0"])
+        .output()
+        .expect("run analyze");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--threads"), "stderr: {stderr}");
 }
 
 #[test]

@@ -5,7 +5,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use quicsand_net::{Duration, Timestamp};
 use quicsand_sessions::dos::{detect_attacks, AttackProtocol, DosThresholds};
-use quicsand_sessions::session::{sessionize, timeout_sweep, SessionConfig};
+use quicsand_sessions::session::{sessionize, timeout_sweep, SessionConfig, Sessionizer};
+use quicsand_telescope::shard_of;
 use quicsand_wire::crypto::InitialSecrets;
 use quicsand_wire::packet::{parse_datagram, Packet, PacketPayload};
 use quicsand_wire::{ConnectionId, Frame, Version};
@@ -116,6 +117,68 @@ proptest! {
                 sessionize(packets.iter().copied(), SessionConfig { timeout }).len() as u64;
             prop_assert_eq!(count, direct, "timeout {}", timeout);
         }
+    }
+
+    /// Sharding a stream by `hash(src) % N` and sessionizing each shard
+    /// independently yields exactly the single-shard sessions, for any
+    /// stream, timeout and shard count — the parallel pipeline's
+    /// correctness argument as a law.
+    #[test]
+    fn prop_sharded_sessionize_equals_sequential(
+        raw in proptest::collection::vec((0u64..50_000, 0u8..8), 1..400),
+        timeout_secs in 10u64..1_000,
+        shards in 1usize..9,
+    ) {
+        let mut packets: Vec<(Timestamp, Ipv4Addr)> = raw
+            .into_iter()
+            .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
+            .collect();
+        packets.sort_by_key(|(ts, _)| *ts);
+        let config = SessionConfig { timeout: Duration::from_secs(timeout_secs) };
+        let mut expected = sessionize(packets.iter().copied(), config);
+        expected.sort_by_key(|s| (s.start, s.src));
+        let mut sharded = Vec::new();
+        for shard in 0..shards {
+            let stream = packets
+                .iter()
+                .copied()
+                .filter(|(_, src)| shard_of(*src, shards) == shard);
+            sharded.extend(sessionize(stream, config));
+        }
+        sharded.sort_by_key(|s| (s.start, s.src));
+        prop_assert_eq!(sharded, expected);
+    }
+
+    /// Interleaving watermark expiry and `drain` with the offers never
+    /// loses, duplicates or reshapes sessions: packets are conserved
+    /// and the final session set equals one-shot sessionization.
+    #[test]
+    fn prop_expire_drain_finish_conserve_packets(
+        raw in proptest::collection::vec((0u64..50_000, 0u8..8), 1..400),
+        timeout_secs in 10u64..1_000,
+        drain_every in 1usize..50,
+    ) {
+        let mut packets: Vec<(Timestamp, Ipv4Addr)> = raw
+            .into_iter()
+            .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
+            .collect();
+        packets.sort_by_key(|(ts, _)| *ts);
+        let config = SessionConfig { timeout: Duration::from_secs(timeout_secs) };
+        let mut sessionizer = Sessionizer::new(config);
+        let mut collected = Vec::new();
+        for (i, (ts, src)) in packets.iter().enumerate() {
+            sessionizer.offer(*ts, *src);
+            if (i + 1) % drain_every == 0 {
+                collected.extend(sessionizer.drain());
+            }
+        }
+        collected.extend(sessionizer.finish());
+        let total: u64 = collected.iter().map(|s| s.packet_count).sum();
+        prop_assert_eq!(total, packets.len() as u64);
+        let mut expected = sessionize(packets.iter().copied(), config);
+        expected.sort_by_key(|s| (s.start, s.src));
+        collected.sort_by_key(|s| (s.start, s.src));
+        prop_assert_eq!(collected, expected);
     }
 
     /// Stricter thresholds never detect more attacks (the Fig. 10

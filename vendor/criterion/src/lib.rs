@@ -151,9 +151,8 @@ impl Bencher {
         } else {
             Duration::from_nanos(1)
         };
-        let target_iters = (self.measurement.as_nanos()
-            / per_iter_est.as_nanos().max(1))
-        .clamp(1, 50_000_000) as u64;
+        let target_iters = (self.measurement.as_nanos() / per_iter_est.as_nanos().max(1))
+            .clamp(1, 50_000_000) as u64;
 
         // Measured passes: take the best of 3 to damp scheduler noise.
         let mut best = Duration::MAX;
@@ -188,9 +187,8 @@ impl Bencher {
             calib_total += start.elapsed();
         }
         let per_iter_est = calib_total / calib_runs;
-        let target_iters = (self.measurement.as_nanos()
-            / per_iter_est.as_nanos().max(1))
-        .clamp(1, 10_000) as u64;
+        let target_iters =
+            (self.measurement.as_nanos() / per_iter_est.as_nanos().max(1)).clamp(1, 10_000) as u64;
 
         let mut total = Duration::ZERO;
         for _ in 0..target_iters {

@@ -31,13 +31,16 @@ pub mod thread {
     }
 
     impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam 0.8, the closure
+        /// receives the scope again so nested spawns are possible.
         pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
         where
-            F: FnOnce() -> T + Send + 'scope,
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
+            let inner = self.inner;
             ScopedJoinHandle {
-                inner: self.inner.spawn(f),
+                inner: inner.spawn(move || f(&Scope { inner })),
             }
         }
     }
@@ -64,11 +67,11 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_stack_data() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = thread::scope(|s| {
             let handles: Vec<_> = data
                 .chunks(2)
-                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
@@ -78,9 +81,7 @@ mod tests {
 
     #[test]
     fn panics_surface_as_err() {
-        let r = thread::scope(|s| {
-            s.spawn(|| panic!("boom")).join().map(|()| ()).is_err()
-        });
-        assert_eq!(r.unwrap(), true);
+        let r = thread::scope(|s| s.spawn(|_| panic!("boom")).join().is_err());
+        assert!(r.unwrap());
     }
 }

@@ -43,7 +43,10 @@ pub mod de {
             Self::custom(format!("invalid length {len}, expected {expected}"))
         }
 
-        fn invalid_value(unexpected: &dyn std::fmt::Display, expected: &dyn std::fmt::Display) -> Self {
+        fn invalid_value(
+            unexpected: &dyn std::fmt::Display,
+            expected: &dyn std::fmt::Display,
+        ) -> Self {
             Self::custom(format!("invalid value {unexpected}, expected {expected}"))
         }
     }
@@ -718,7 +721,7 @@ mod tests {
     fn primitives_roundtrip() {
         assert_eq!(from_value::<u64>(to_value(&42u64).unwrap()).unwrap(), 42);
         assert_eq!(from_value::<i32>(to_value(&-7i32).unwrap()).unwrap(), -7);
-        assert_eq!(from_value::<bool>(to_value(&true).unwrap()).unwrap(), true);
+        assert!(from_value::<bool>(to_value(&true).unwrap()).unwrap());
         let s: String = from_value(to_value("hi").unwrap()).unwrap();
         assert_eq!(s, "hi");
         let ip: Ipv4Addr = from_value(to_value(&Ipv4Addr::new(10, 0, 0, 1)).unwrap()).unwrap();

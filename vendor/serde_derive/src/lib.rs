@@ -33,15 +33,23 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize`.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
         Err(msg) => compile_error(&msg),
     }
 }
@@ -58,7 +66,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
 }
 
 // ---------------------------------------------------------------------
@@ -224,7 +234,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         let name = cursor.expect_ident("field name")?;
         match cursor.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         skip_type(&mut cursor);
         fields.push(Field { name, with });
@@ -310,9 +324,9 @@ fn de_named_field(field: &Field, source: &str, context: &str) -> String {
          ::serde::Error::custom(concat!(\"missing field `\", {name:?}, \"` in \", {context:?})))?"
     );
     match &field.with {
-        Some(path) => format!(
-            "{name}: {path}::deserialize(::serde::ValueDeserializer::new({fetch}))?,"
-        ),
+        Some(path) => {
+            format!("{name}: {path}::deserialize(::serde::ValueDeserializer::new({fetch}))?,")
+        }
         None => format!("{name}: ::serde::from_value({fetch})?,"),
     }
 }
@@ -386,8 +400,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binders: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let mut pushes = String::new();
                         for field in fields {
                             pushes.push_str(&ser_named_field(field, &field.name));

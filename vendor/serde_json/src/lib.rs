@@ -232,7 +232,10 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
         }
     }
 
@@ -263,8 +266,7 @@ impl<'a> Parser<'a> {
                             char::from_u32(combined)
                                 .ok_or_else(|| Error::new("invalid surrogate pair"))?
                         } else {
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?
                         };
                         out.push(c);
                     }
@@ -292,7 +294,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut code = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| Error::new("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| Error::new("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| Error::new("invalid hex digit in \\u escape"))?;
