@@ -72,14 +72,30 @@ fn bench_sessionization_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sessionize");
     group.throughput(Throughput::Elements(stream.len() as u64));
     group.bench_function("streaming", |b| {
-        b.iter(|| sessionize(stream.iter().copied(), SessionConfig { timeout }).len())
+        b.iter(|| {
+            sessionize(
+                stream.iter().copied(),
+                SessionConfig {
+                    timeout,
+                    skew_tolerance: Duration::ZERO,
+                },
+            )
+            .len()
+        })
     });
     group.bench_function("batch", |b| {
         b.iter(|| batch_sessionize(black_box(&stream), timeout).len())
     });
     // Both strategies must agree on the session count.
     assert_eq!(
-        sessionize(stream.iter().copied(), SessionConfig { timeout }).len(),
+        sessionize(
+            stream.iter().copied(),
+            SessionConfig {
+                timeout,
+                skew_tolerance: Duration::ZERO
+            }
+        )
+        .len(),
         batch_sessionize(&stream, timeout).len()
     );
     group.finish();

@@ -20,9 +20,9 @@ use quicsand_net::Duration;
 use quicsand_sessions::dos::{detect_attacks, Attack, AttackProtocol, DosThresholds};
 use quicsand_sessions::multivector::{classify_multivector, MultiVectorReport};
 use quicsand_sessions::session::{Session, SessionConfig, Sessionizer};
-use quicsand_telescope::parallel::{ingest_shard, partition_by_source};
+use quicsand_telescope::parallel::{ingest_shard_with, partition_by_source};
 use quicsand_telescope::{
-    HourlySeries, IngestStats, QuicObservation, ResearchFilter, TelescopePipeline,
+    GuardConfig, HourlySeries, IngestStats, QuicObservation, ResearchFilter, TelescopePipeline,
 };
 use quicsand_traffic::Scenario;
 use serde::{Deserialize, Serialize};
@@ -51,6 +51,10 @@ pub struct AnalysisConfig {
     /// byte-identical analysis products (the shard merge is
     /// deterministic), so this only affects wall-clock time.
     pub threads: usize,
+    /// Pre-classification ingest guard: duplicate suppression and
+    /// backwards-timestamp quarantine thresholds. Per-source, so the
+    /// guard's decisions are also thread-count-invariant.
+    pub guard: GuardConfig,
 }
 
 impl Default for AnalysisConfig {
@@ -61,6 +65,7 @@ impl Default for AnalysisConfig {
             research_min_packets: 500,
             research_min_dsts: 400,
             threads: default_threads(),
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -89,6 +94,10 @@ pub struct PipelineStats {
     /// upper bound on simultaneously held per-source state, the
     /// quantity the watermark expiry keeps O(active sources).
     pub peak_open_sessions: usize,
+    /// Records the ingest guard + dissector quarantined, all kinds
+    /// summed (the per-kind breakdown lives in
+    /// [`IngestStats::quarantine`]).
+    pub quarantined: u64,
 }
 
 impl PipelineStats {
@@ -243,6 +252,7 @@ impl Analysis {
         stats.detect_ms = ms(detect_start);
         stats.threads = threads;
         stats.records = ingest.total;
+        stats.quarantined = ingest.quarantine.total();
 
         Analysis {
             ingest,
@@ -270,7 +280,7 @@ impl Analysis {
 
         // 1. Ingest.
         let ingest_start = Instant::now();
-        let mut pipeline = TelescopePipeline::new();
+        let mut pipeline = TelescopePipeline::with_guard(config.guard);
         pipeline.ingest_all(&scenario.records);
         let (observations, baseline, ingest) = pipeline.finish();
         stats.ingest_ms = ms(ingest_start);
@@ -314,6 +324,10 @@ impl Analysis {
         let sessionize_start = Instant::now();
         let session_config = SessionConfig {
             timeout: config.session_timeout,
+            // Late packets admitted by the ingest guard lag at most its
+            // reorder tolerance behind the watermark; the sessionizer's
+            // deferred expiry must cover exactly that.
+            skew_tolerance: config.guard.reorder_tolerance,
         };
         let mut request_sessionizer = Sessionizer::new(session_config);
         for obs in &requests {
@@ -369,6 +383,7 @@ impl Analysis {
         let asdb = &scenario.world.asdb;
         let session_config = SessionConfig {
             timeout: config.session_timeout,
+            skew_tolerance: config.guard.reorder_tolerance,
         };
         let buckets = partition_by_source(records, threads);
 
@@ -377,7 +392,7 @@ impl Analysis {
 
             // 1. Ingest (this shard's records only).
             let ingest_start = Instant::now();
-            let shard = ingest_shard(records, indices);
+            let shard = ingest_shard_with(records, indices, config.guard);
             stats.ingest_ms = ms(ingest_start);
 
             // 2. Sanitize. Research detection is a per-source

@@ -24,5 +24,5 @@ pub mod quic;
 pub mod stats;
 
 pub use classify::{classify_record, Classification, Direction};
-pub use quic::{dissect_udp_payload, DissectedPacket, MessageKind, MessageMeta};
+pub use quic::{dissect_udp_payload, DissectError, DissectedPacket, MessageKind, MessageMeta};
 pub use stats::MessageMixStats;

@@ -20,6 +20,73 @@ use quicsand_wire::packet::{parse_datagram, ParsedHeader};
 use quicsand_wire::tls::{peek_handshake_type, HandshakeType};
 use quicsand_wire::{ConnectionId, Frame, Version, WireError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed dissection failure: *why* a UDP payload was rejected.
+///
+/// The seed dissector collapsed every failure into a bare [`WireError`]
+/// (and earlier prototypes into an `Option`); the telescope pipeline
+/// needs the *class* of malformation to maintain its per-kind
+/// quarantine counters — truncated captures, garbage version fields and
+/// oversized CIDs are distinct phenomena in real IBR and are counted
+/// separately (QUICsand §4.1 false-positive analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DissectError {
+    /// The UDP payload was empty (zero-length datagrams carry no QUIC).
+    Empty,
+    /// The payload ended before a structurally complete QUIC packet:
+    /// truncated capture snaplen, cut-off header, or a length field
+    /// pointing past the end of the datagram.
+    Truncated(WireError),
+    /// A long header announced a version outside the registry (not a
+    /// known deployment, not the grease pattern, not negotiation).
+    BadVersion(u32),
+    /// A connection ID length field exceeded the 20-byte maximum.
+    BadCid(usize),
+    /// Structurally not QUIC at all (fixed bit unset, impossible field
+    /// values) — the port filter's false positives.
+    NotQuic(WireError),
+}
+
+impl DissectError {
+    /// Classifies a low-level wire error into the dissection taxonomy.
+    fn from_wire(e: WireError) -> Self {
+        match e {
+            WireError::UnexpectedEnd { .. } | WireError::LengthOutOfBounds { .. } => {
+                DissectError::Truncated(e)
+            }
+            WireError::UnsupportedVersion(v) => DissectError::BadVersion(v),
+            WireError::CidTooLong(n) => DissectError::BadCid(n),
+            other => DissectError::NotQuic(other),
+        }
+    }
+
+    /// The underlying wire error, when one exists.
+    pub fn wire_cause(&self) -> Option<&WireError> {
+        match self {
+            DissectError::Truncated(e) | DissectError::NotQuic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DissectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DissectError::Empty => write!(f, "empty udp payload"),
+            DissectError::Truncated(e) => write!(f, "truncated quic packet: {e}"),
+            DissectError::BadVersion(v) => write!(f, "unknown quic version {v:#010x}"),
+            DissectError::BadCid(n) => write!(f, "connection id length {n} exceeds maximum"),
+            DissectError::NotQuic(e) => write!(f, "not a quic payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DissectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.wire_cause().map(|e| e as _)
+    }
+}
 
 /// The QUIC message types the analyses distinguish.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -109,16 +176,18 @@ impl DissectedPacket {
 /// Dissects a UDP payload as QUIC.
 ///
 /// # Errors
-/// [`WireError`] when the payload is not structurally valid QUIC — the
-/// caller (telescope pipeline) counts these as non-QUIC false positives
-/// of the port filter.
-pub fn dissect_udp_payload(payload: &[u8]) -> Result<DissectedPacket, WireError> {
+/// [`DissectError`] when the payload is not structurally valid QUIC —
+/// the caller (telescope pipeline) counts these as non-QUIC false
+/// positives of the port filter and quarantines them per error kind.
+pub fn dissect_udp_payload(payload: &[u8]) -> Result<DissectedPacket, DissectError> {
     if payload.is_empty() {
-        return Err(WireError::UnexpectedEnd { what: "datagram" });
+        return Err(DissectError::Empty);
     }
-    let parsed = parse_datagram(payload, 8)?;
+    let parsed = parse_datagram(payload, 8).map_err(DissectError::from_wire)?;
     if parsed.is_empty() {
-        return Err(WireError::UnexpectedEnd { what: "datagram" });
+        return Err(DissectError::Truncated(WireError::UnexpectedEnd {
+            what: "datagram",
+        }));
     }
     let mut messages = Vec::with_capacity(parsed.len());
     for (packet, aad) in &parsed {
@@ -130,6 +199,9 @@ pub fn dissect_udp_payload(payload: &[u8]) -> Result<DissectedPacket, WireError>
                 scid,
                 ..
             } => {
+                if let Version::Unknown(v) = version {
+                    return Err(DissectError::BadVersion(*v));
+                }
                 let kind = match ty {
                     quicsand_wire::header::LongPacketType::Initial => MessageKind::Initial,
                     quicsand_wire::header::LongPacketType::ZeroRtt => MessageKind::ZeroRtt,
@@ -152,14 +224,19 @@ pub fn dissect_udp_payload(payload: &[u8]) -> Result<DissectedPacket, WireError>
                 dcid,
                 scid,
                 ..
-            } => MessageMeta {
-                kind: MessageKind::Retry,
-                version: Some(version.to_wire()),
-                scid: Some(*scid),
-                dcid: *dcid,
-                has_client_hello: false,
-                wire_len: packet.wire_len,
-            },
+            } => {
+                if let Version::Unknown(v) = version {
+                    return Err(DissectError::BadVersion(*v));
+                }
+                MessageMeta {
+                    kind: MessageKind::Retry,
+                    version: Some(version.to_wire()),
+                    scid: Some(*scid),
+                    dcid: *dcid,
+                    has_client_hello: false,
+                    wire_len: packet.wire_len,
+                }
+            }
             ParsedHeader::VersionNegotiation { dcid, scid, .. } => MessageMeta {
                 kind: MessageKind::VersionNegotiation,
                 version: Some(0),
@@ -377,18 +454,50 @@ mod tests {
     #[test]
     fn non_quic_payloads_rejected() {
         // Empty.
-        assert!(dissect_udp_payload(&[]).is_err());
-        // DNS-ish bytes.
-        assert!(dissect_udp_payload(&[0x12, 0x34, 0x01, 0x00, 0x00, 0x01]).is_err());
+        assert_eq!(dissect_udp_payload(&[]), Err(DissectError::Empty));
+        // DNS-ish bytes (fixed bit clear).
+        assert!(matches!(
+            dissect_udp_payload(&[0x12, 0x34, 0x01, 0x00, 0x00, 0x01]),
+            Err(DissectError::NotQuic(_))
+        ));
         // NTP-ish (first byte 0x23: short form but no fixed bit... 0x23
         // has 0x40 clear).
-        assert!(dissect_udp_payload(&[0x23; 48]).is_err());
+        assert!(matches!(
+            dissect_udp_payload(&[0x23; 48]),
+            Err(DissectError::NotQuic(_))
+        ));
     }
 
     #[test]
     fn truncated_quic_rejected() {
         let wire = client_initial();
-        assert!(dissect_udp_payload(&wire[..20]).is_err());
+        assert!(matches!(
+            dissect_udp_payload(&wire[..20]),
+            Err(DissectError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_rejected_as_bad_version() {
+        // A structurally valid Initial whose version is garbage:
+        // long+fixed bits, version 0xdeadbeef, empty DCID/SCID, empty
+        // token, Length = 32, then 32 payload bytes.
+        let mut wire = vec![0xc0, 0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00, 0x20];
+        wire.extend_from_slice(&[0u8; 32]);
+        assert_eq!(
+            dissect_udp_payload(&wire),
+            Err(DissectError::BadVersion(0xdead_beef))
+        );
+    }
+
+    #[test]
+    fn oversized_cid_rejected_as_bad_cid() {
+        // Long header, known version, then a DCID length of 0xff.
+        let mut wire = vec![0xc0];
+        wire.extend_from_slice(&Version::V1.to_wire().to_be_bytes());
+        wire.push(0xff);
+        wire.extend_from_slice(&[0u8; 64]);
+        assert_eq!(dissect_udp_payload(&wire), Err(DissectError::BadCid(0xff)));
     }
 
     #[test]

@@ -31,6 +31,14 @@ const TAG_UDP: u8 = 0;
 const TAG_TCP: u8 = 1;
 const TAG_ICMP: u8 = 2;
 
+/// Largest UDP payload representable over IPv4 (65 535 − 20 IP − 8 UDP).
+///
+/// A declared record length above this bound cannot have come from a
+/// real datagram, so the reader rejects it *before* allocating — a
+/// corrupt or hostile capture must not be able to request a 4 GiB
+/// buffer with four bytes of input.
+pub const MAX_UDP_PAYLOAD: usize = 65_507;
+
 /// Errors from reading a capture stream.
 #[derive(Debug)]
 pub enum CaptureError {
@@ -44,6 +52,8 @@ pub enum CaptureError {
     BadTag(u8),
     /// Unknown encoded enum value.
     BadValue(&'static str),
+    /// A record declared a payload length no real datagram can have.
+    OversizedPayload(u32),
     /// A record was cut off mid-way.
     Truncated,
 }
@@ -56,6 +66,9 @@ impl fmt::Display for CaptureError {
             CaptureError::BadVersion(v) => write!(f, "unsupported capture version {v}"),
             CaptureError::BadTag(t) => write!(f, "unknown record tag {t}"),
             CaptureError::BadValue(what) => write!(f, "invalid encoded value for {what}"),
+            CaptureError::OversizedPayload(len) => {
+                write!(f, "declared payload length {len} exceeds {MAX_UDP_PAYLOAD}")
+            }
             CaptureError::Truncated => write!(f, "truncated record"),
         }
     }
@@ -93,8 +106,20 @@ impl<W: Write> CaptureWriter<W> {
     /// Appends one record.
     ///
     /// # Errors
-    /// IO errors from the sink.
+    /// IO errors from the sink; `InvalidInput` for a UDP payload larger
+    /// than [`MAX_UDP_PAYLOAD`] (which the reader would refuse anyway).
     pub fn write(&mut self, record: &PacketRecord) -> io::Result<()> {
+        if let Transport::Udp { payload, .. } = &record.transport {
+            if payload.len() > MAX_UDP_PAYLOAD {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "udp payload of {} bytes exceeds {MAX_UDP_PAYLOAD}",
+                        payload.len()
+                    ),
+                ));
+            }
+        }
         let w = &mut self.inner;
         w.write_all(&record.ts.as_micros().to_le_bytes())?;
         w.write_all(&u32::from(record.src).to_le_bytes())?;
@@ -187,8 +212,11 @@ impl<R: Read> CaptureReader<R> {
             TAG_UDP => {
                 let src_port = self.read_u16()?;
                 let dst_port = self.read_u16()?;
-                let len = self.read_u32()? as usize;
-                let mut payload = vec![0u8; len];
+                let len = self.read_u32()?;
+                if len as usize > MAX_UDP_PAYLOAD {
+                    return Err(CaptureError::OversizedPayload(len));
+                }
+                let mut payload = vec![0u8; len as usize];
                 self.inner
                     .read_exact(&mut payload)
                     .map_err(map_truncation)?;
@@ -432,6 +460,49 @@ mod tests {
             let flags = decode_flags(bits);
             assert_eq!(encode_flags(flags), bits);
         }
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        // A hostile capture that declares a 4 GiB payload with zero
+        // bytes of backing data must fail fast, not preallocate.
+        let mut bytes = to_bytes(&[]).unwrap();
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // ts
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // src
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // dst
+        bytes.push(TAG_UDP);
+        bytes.extend_from_slice(&443u16.to_le_bytes());
+        bytes.extend_from_slice(&443u16.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // declared len
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(CaptureError::OversizedPayload(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn max_payload_boundary_roundtrips_and_one_past_is_rejected() {
+        let at_limit = PacketRecord::udp(
+            Timestamp::from_micros(1),
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(128, 0, 0, 1),
+            40000,
+            443,
+            Bytes::from(vec![0xAB; MAX_UDP_PAYLOAD]),
+        );
+        let bytes = to_bytes(std::slice::from_ref(&at_limit)).unwrap();
+        assert_eq!(from_bytes(&bytes).unwrap(), vec![at_limit.clone()]);
+
+        let over = PacketRecord::udp(
+            Timestamp::from_micros(1),
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(128, 0, 0, 1),
+            40000,
+            443,
+            Bytes::from(vec![0xAB; MAX_UDP_PAYLOAD + 1]),
+        );
+        let err = to_bytes(std::slice::from_ref(&over)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -23,12 +23,21 @@ pub struct SessionConfig {
     /// 5 minutes (knee of Fig. 4, coherent with Moore et al. and
     /// Jonker et al.).
     pub timeout: Duration,
+    /// How far behind the watermark a packet timestamp may lag and
+    /// still be expected (in-network reordering admitted by the ingest
+    /// guard). The idle sweep defers expiry by this much so a
+    /// tolerated late packet can never find its session already
+    /// closed — which would split sessions nondeterministically
+    /// depending on sweep scheduling. `ZERO` reproduces the strict
+    /// time-ordered behaviour.
+    pub skew_tolerance: Duration,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
         SessionConfig {
             timeout: Duration::from_mins(5),
+            skew_tolerance: Duration::ZERO,
         }
     }
 }
@@ -134,28 +143,39 @@ impl Sessionizer {
         }
     }
 
-    /// Offers one packet. Panics if packets go backwards in time (the
-    /// telescope capture is time-ordered by construction; violating
-    /// that is a pipeline bug).
+    /// Offers one packet.
+    ///
+    /// Input is expected to be *approximately* time-ordered: the
+    /// watermark only advances (`max` of everything seen), and packets
+    /// lagging behind it are tolerated rather than panicking — the
+    /// ingest guard bounds the lag at its reorder tolerance, and
+    /// [`SessionConfig::skew_tolerance`] keeps the idle sweep from
+    /// expiring a session such a late packet would have joined. The
+    /// seed version asserted strict ordering and crashed whole runs on
+    /// one reordered record.
     pub fn offer(&mut self, ts: Timestamp, src: Ipv4Addr) {
-        assert!(
-            ts >= self.last_ts,
-            "sessionizer requires time-ordered input ({ts} < {})",
-            self.last_ts
-        );
-        self.last_ts = ts;
+        if ts > self.last_ts {
+            self.last_ts = ts;
+        }
         // Amortized idle sweep: once the watermark has advanced a full
         // timeout past the previous sweep, every session untouched
         // since then is expired. Keeps `open` at O(sources active in
         // the last 2·timeout window) at a cost of one scan per timeout
         // interval.
-        if ts.saturating_since(self.last_sweep) > self.config.timeout {
-            self.expire(ts);
+        if self.last_ts.saturating_since(self.last_sweep) > self.config.timeout {
+            self.expire(self.last_ts);
         }
         let minute = ts.minute_bucket();
         match self.open.get_mut(&src) {
             Some(open) if ts.saturating_since(open.last) <= self.config.timeout => {
-                open.last = ts;
+                // A late packet (ts behind open.last) saturates to a
+                // zero gap and joins; bounds only widen.
+                if ts > open.last {
+                    open.last = ts;
+                }
+                if ts < open.start {
+                    open.start = ts;
+                }
                 open.packet_count += 1;
                 *open.minute_counts.entry(minute).or_default() += 1;
             }
@@ -199,11 +219,15 @@ impl Sessionizer {
     /// emit — expiry only changes *when* state is released, never the
     /// session boundaries.
     pub fn expire(&mut self, now: Timestamp) {
-        let timeout = self.config.timeout;
+        // Defer expiry by the skew tolerance: a packet admitted while
+        // lagging `skew_tolerance` behind the watermark must still find
+        // its session open, whatever the sweep schedule. Micros
+        // arithmetic avoids an intermediate `Duration` overflow.
+        let horizon = self.config.timeout.as_micros() + self.config.skew_tolerance.as_micros();
         let mut expired: Vec<Ipv4Addr> = self
             .open
             .iter()
-            .filter(|(_, open)| now.saturating_since(open.last) > timeout)
+            .filter(|(_, open)| now.saturating_since(open.last).as_micros() > horizon)
             .map(|(src, _)| *src)
             .collect();
         if expired.is_empty() {
@@ -358,6 +382,14 @@ mod tests {
     fn cfg(timeout_secs: u64) -> SessionConfig {
         SessionConfig {
             timeout: Duration::from_secs(timeout_secs),
+            skew_tolerance: Duration::ZERO,
+        }
+    }
+
+    fn cfg_skew(timeout_secs: u64, skew_secs: u64) -> SessionConfig {
+        SessionConfig {
+            timeout: Duration::from_secs(timeout_secs),
+            skew_tolerance: Duration::from_secs(skew_secs),
         }
     }
 
@@ -440,11 +472,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn out_of_order_input_panics() {
+    fn late_packet_joins_open_session_without_panicking() {
+        // The seed sessionizer panicked on any backwards timestamp;
+        // bounded reordering is now tolerated: the late packet joins,
+        // the watermark never regresses, and the session bounds widen
+        // to cover it.
         let mut s = Sessionizer::new(cfg(300));
         s.offer(Timestamp::from_secs(10), ip(1));
         s.offer(Timestamp::from_secs(5), ip(1));
+        s.offer(Timestamp::from_secs(12), ip(2));
+        let sessions = s.finish();
+        assert_eq!(sessions.len(), 2);
+        let one = sessions.iter().find(|x| x.src == ip(1)).unwrap();
+        assert_eq!(one.packet_count, 2);
+        assert_eq!(one.start, Timestamp::from_secs(5));
+        assert_eq!(one.end, Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn late_packet_before_session_start_widens_start() {
+        let mut s = Sessionizer::new(cfg(300));
+        s.offer(Timestamp::from_secs(100), ip(1));
+        s.offer(Timestamp::from_secs(40), ip(1));
+        let sessions = s.finish();
+        assert_eq!(sessions[0].start, Timestamp::from_secs(40));
+        assert_eq!(sessions[0].end, Timestamp::from_secs(100));
+        assert_eq!(sessions[0].duration().as_secs(), 60);
+    }
+
+    #[test]
+    fn skew_tolerance_defers_expiry_for_tolerated_late_packets() {
+        // ip(1) last speaks at t=0. Other traffic advances the
+        // watermark to t=timeout+skew−1; a late ip(1) packet lagging
+        // `skew` behind the watermark must still join its session —
+        // under ZERO tolerance an interleaved sweep could have expired
+        // it, splitting the session depending on sweep schedule.
+        let timeout = 10;
+        let skew = 5;
+        let mut s = Sessionizer::new(cfg_skew(timeout, skew));
+        s.offer(Timestamp::from_secs(0), ip(1));
+        s.offer(Timestamp::from_secs(timeout + skew - 1), ip(2));
+        // Force a sweep at the current watermark: must NOT expire ip(1)
+        // (idle timeout+skew−1 ≤ timeout+skew).
+        s.expire(Timestamp::from_secs(timeout + skew - 1));
+        assert_eq!(s.open_count(), 2, "ip(1) must survive the sweep");
+        // The tolerated late packet: lags skew−1 behind the watermark,
+        // per-source gap timeout exactly → joins.
+        s.offer(Timestamp::from_secs(timeout), ip(1));
+        let sessions = s.finish();
+        let one = sessions.iter().find(|x| x.src == ip(1)).unwrap();
+        assert_eq!(one.packet_count, 2, "late packet must join, not split");
     }
 
     #[test]
@@ -567,7 +644,13 @@ mod tests {
             .collect();
         let sweep = timeout_sweep(ordered.iter().copied(), &timeouts);
         for (timeout, count) in &sweep.counts {
-            let direct = sessionize(ordered.iter().copied(), SessionConfig { timeout: *timeout });
+            let direct = sessionize(
+                ordered.iter().copied(),
+                SessionConfig {
+                    timeout: *timeout,
+                    skew_tolerance: Duration::ZERO,
+                },
+            );
             assert_eq!(direct.len() as u64, *count, "timeout {timeout} mismatch");
         }
         assert_eq!(sweep.infinity_floor, 3);

@@ -23,5 +23,8 @@ pub mod pipeline;
 
 pub use binning::HourlySeries;
 pub use filter::ResearchFilter;
-pub use parallel::{ingest_parallel, shard_of};
-pub use pipeline::{IngestStats, QuicObservation, TelescopePipeline};
+pub use parallel::{ingest_parallel, ingest_parallel_with, shard_of};
+pub use pipeline::{
+    record_hash, GuardConfig, IngestError, IngestStats, QuarantineStats, QuicObservation,
+    TelescopePipeline,
+};

@@ -18,7 +18,7 @@
 //! whose output is unspecified across releases), so a given capture
 //! shards identically everywhere.
 
-use crate::pipeline::{IngestStats, QuicObservation, TelescopePipeline};
+use crate::pipeline::{GuardConfig, IngestStats, QuicObservation, TelescopePipeline};
 use quicsand_net::PacketRecord;
 use std::net::Ipv4Addr;
 
@@ -68,10 +68,25 @@ pub struct ShardIngest {
     pub stats: IngestStats,
 }
 
+/// Runs the sequential ingest over one shard's record indices with the
+/// default [`GuardConfig`].
+pub fn ingest_shard(records: &[PacketRecord], indices: &[usize]) -> ShardIngest {
+    ingest_shard_with(records, indices, GuardConfig::default())
+}
+
 /// Runs the sequential ingest over one shard's record indices, tagging
 /// every product with its original capture index.
-pub fn ingest_shard(records: &[PacketRecord], indices: &[usize]) -> ShardIngest {
-    let mut pipeline = TelescopePipeline::new();
+///
+/// Guard state (per-source watermarks, duplicate hashes) lives inside
+/// the shard's pipeline; because shards partition records *by source*,
+/// the guard sees exactly the same per-source record sequence as a
+/// sequential run, so quarantine decisions are shard-count-invariant.
+pub fn ingest_shard_with(
+    records: &[PacketRecord],
+    indices: &[usize],
+    guard: GuardConfig,
+) -> ShardIngest {
+    let mut pipeline = TelescopePipeline::with_guard(guard);
     let mut quic_index = Vec::new();
     let mut baseline_index = Vec::new();
     for &index in indices {
@@ -131,8 +146,17 @@ pub fn ingest_parallel(
     records: &[PacketRecord],
     threads: usize,
 ) -> (Vec<QuicObservation>, Vec<PacketRecord>, IngestStats) {
+    ingest_parallel_with(records, threads, GuardConfig::default())
+}
+
+/// [`ingest_parallel`] with explicit guard thresholds.
+pub fn ingest_parallel_with(
+    records: &[PacketRecord],
+    threads: usize,
+    guard: GuardConfig,
+) -> (Vec<QuicObservation>, Vec<PacketRecord>, IngestStats) {
     if threads <= 1 {
-        let mut pipeline = TelescopePipeline::new();
+        let mut pipeline = TelescopePipeline::with_guard(guard);
         pipeline.ingest_all(records);
         return pipeline.finish();
     }
@@ -140,7 +164,7 @@ pub fn ingest_parallel(
     let shards = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = buckets
             .iter()
-            .map(|indices| scope.spawn(move |_| ingest_shard(records, indices)))
+            .map(|indices| scope.spawn(move |_| ingest_shard_with(records, indices, guard)))
             .collect();
         handles
             .into_iter()

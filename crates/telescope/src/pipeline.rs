@@ -8,10 +8,13 @@
 //! the common-protocols baseline.
 
 use quicsand_dissect::{
-    classify_record, dissect_udp_payload, Classification, Direction, DissectedPacket,
+    classify_record, dissect_udp_payload, Classification, Direction, DissectError, DissectedPacket,
 };
-use quicsand_net::{PacketRecord, Timestamp};
+use quicsand_net::{Duration, PacketRecord, Timestamp, Transport};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
 use std::net::Ipv4Addr;
 
 /// One validated QUIC packet observation.
@@ -33,6 +36,177 @@ pub struct QuicObservation {
     pub dissected: DissectedPacket,
 }
 
+/// *Why* the ingest pipeline quarantined a record.
+///
+/// Real IBR contains truncated captures, garbage version fields,
+/// replayed and reordered records; the pipeline classifies each
+/// rejection so operators (and the fault-injection test harness) can
+/// assert *which* defense caught a malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The payload ended before a structurally complete QUIC packet.
+    Truncated,
+    /// A long header announced a version outside the registry.
+    BadVersion(u32),
+    /// A connection ID length field exceeded the 20-byte maximum.
+    BadCid(usize),
+    /// A UDP/443 payload that is structurally not QUIC at all.
+    NotQuic,
+    /// A zero-length UDP/443 payload.
+    EmptyPayload,
+    /// Byte-identical to the previous record from the same source.
+    Duplicate,
+    /// Timestamp moved backwards past the reorder tolerance but within
+    /// the clock-skew horizon: late delivery, not a broken clock.
+    Reordered {
+        /// How far behind the source's watermark the record arrived.
+        backwards: Duration,
+    },
+    /// Timestamp moved backwards past the skew horizon: a clock reset
+    /// or forged timestamps; admitting it would corrupt sessionization.
+    ClockSkew {
+        /// How far behind the source's watermark the record arrived.
+        backwards: Duration,
+    },
+    /// Classification disagreed with the transport (e.g. a QUIC
+    /// candidate without a UDP payload — forged capture metadata).
+    TransportMismatch,
+}
+
+impl IngestError {
+    /// Stable label used in reports and CLI summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IngestError::Truncated => "truncated",
+            IngestError::BadVersion(_) => "bad-version",
+            IngestError::BadCid(_) => "bad-cid",
+            IngestError::NotQuic => "not-quic",
+            IngestError::EmptyPayload => "empty-payload",
+            IngestError::Duplicate => "duplicate",
+            IngestError::Reordered { .. } => "reordered",
+            IngestError::ClockSkew { .. } => "clock-skew",
+            IngestError::TransportMismatch => "transport-mismatch",
+        }
+    }
+
+    /// Classifies a dissector rejection into the ingest taxonomy.
+    pub fn from_dissect(error: &DissectError) -> Self {
+        match error {
+            DissectError::Empty => IngestError::EmptyPayload,
+            DissectError::Truncated(_) => IngestError::Truncated,
+            DissectError::BadVersion(v) => IngestError::BadVersion(*v),
+            DissectError::BadCid(n) => IngestError::BadCid(*n),
+            DissectError::NotQuic(_) => IngestError::NotQuic,
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::BadVersion(v) => write!(f, "bad-version({v:#010x})"),
+            IngestError::BadCid(n) => write!(f, "bad-cid({n})"),
+            IngestError::Reordered { backwards } => write!(f, "reordered(-{backwards})"),
+            IngestError::ClockSkew { backwards } => write!(f, "clock-skew(-{backwards})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Per-kind quarantine counters (replaces the old `malformed` scalar).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineStats {
+    /// Payloads cut short of a complete QUIC packet.
+    pub truncated: u64,
+    /// Unknown long-header versions.
+    pub bad_version: u64,
+    /// Connection ID length fields above the maximum.
+    pub bad_cid: u64,
+    /// Structurally non-QUIC UDP/443 payloads.
+    pub not_quic: u64,
+    /// Zero-length UDP/443 payloads.
+    pub empty_payload: u64,
+    /// Per-source byte-identical duplicates.
+    pub duplicate: u64,
+    /// Backwards timestamps beyond the reorder tolerance.
+    pub reordered: u64,
+    /// Backwards timestamps beyond the skew horizon.
+    pub clock_skew: u64,
+    /// Classification/transport disagreements.
+    pub transport_mismatch: u64,
+}
+
+impl QuarantineStats {
+    /// Counts one quarantined record.
+    pub fn record(&mut self, error: &IngestError) {
+        match error {
+            IngestError::Truncated => self.truncated += 1,
+            IngestError::BadVersion(_) => self.bad_version += 1,
+            IngestError::BadCid(_) => self.bad_cid += 1,
+            IngestError::NotQuic => self.not_quic += 1,
+            IngestError::EmptyPayload => self.empty_payload += 1,
+            IngestError::Duplicate => self.duplicate += 1,
+            IngestError::Reordered { .. } => self.reordered += 1,
+            IngestError::ClockSkew { .. } => self.clock_skew += 1,
+            IngestError::TransportMismatch => self.transport_mismatch += 1,
+        }
+    }
+
+    /// Total quarantined records across all kinds.
+    pub fn total(&self) -> u64 {
+        let QuarantineStats {
+            truncated,
+            bad_version,
+            bad_cid,
+            not_quic,
+            empty_payload,
+            duplicate,
+            reordered,
+            clock_skew,
+            transport_mismatch,
+        } = *self;
+        truncated
+            + bad_version
+            + bad_cid
+            + not_quic
+            + empty_payload
+            + duplicate
+            + reordered
+            + clock_skew
+            + transport_mismatch
+    }
+
+    /// `(label, count)` rows in taxonomy order, for reports and CLI.
+    pub fn as_table(&self) -> [(&'static str, u64); 9] {
+        [
+            ("truncated", self.truncated),
+            ("bad-version", self.bad_version),
+            ("bad-cid", self.bad_cid),
+            ("not-quic", self.not_quic),
+            ("empty-payload", self.empty_payload),
+            ("duplicate", self.duplicate),
+            ("reordered", self.reordered),
+            ("clock-skew", self.clock_skew),
+            ("transport-mismatch", self.transport_mismatch),
+        ]
+    }
+
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &QuarantineStats) {
+        self.truncated += other.truncated;
+        self.bad_version += other.bad_version;
+        self.bad_cid += other.bad_cid;
+        self.not_quic += other.not_quic;
+        self.empty_payload += other.empty_payload;
+        self.duplicate += other.duplicate;
+        self.reordered += other.reordered;
+        self.clock_skew += other.clock_skew;
+        self.transport_mismatch += other.transport_mismatch;
+    }
+}
+
 /// Ingest counters (the telescope's bookkeeping).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IngestStats {
@@ -52,11 +226,9 @@ pub struct IngestStats {
     pub other_udp: u64,
     /// Packets with both ports 443 (the paper observed none).
     pub ambiguous: u64,
-    /// Records whose classification disagreed with their transport
-    /// (e.g. a QUIC candidate without a UDP payload). Real captures
-    /// contain truncated or corrupt records; the pipeline drops them
-    /// instead of panicking.
-    pub malformed: u64,
+    /// Per-kind quarantine counters: every record the pipeline dropped
+    /// rather than classified, broken down by *why*.
+    pub quarantine: QuarantineStats,
 }
 
 impl IngestStats {
@@ -70,23 +242,138 @@ impl IngestStats {
         self.icmp += other.icmp;
         self.other_udp += other.other_udp;
         self.ambiguous += other.ambiguous;
-        self.malformed += other.malformed;
+        self.quarantine.merge(&other.quarantine);
     }
+}
+
+/// Pre-classification guard thresholds: how the pipeline treats
+/// per-source timestamp regressions and duplicates before any protocol
+/// work happens.
+///
+/// All state is **per source**, so the guard makes identical decisions
+/// whether a capture is ingested sequentially or sharded by
+/// `hash(src) % N` — a source's records never span shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Quarantine a record byte-identical to the previous record from
+    /// the same source (replayed frames).
+    pub dedup: bool,
+    /// Backwards timestamp slack tolerated as in-network reordering.
+    pub reorder_tolerance: Duration,
+    /// Backwards jump beyond which a timestamp is treated as clock
+    /// skew rather than reordering.
+    pub skew_horizon: Duration,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            dedup: true,
+            reorder_tolerance: Duration::from_secs(2),
+            skew_horizon: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Per-source guard state: high-water timestamp and last record hash.
+#[derive(Debug, Clone, Copy)]
+struct SourceGuard {
+    max_ts: Timestamp,
+    last_hash: u64,
+}
+
+/// Platform-independent FNV-1a fingerprint of a record (timestamp,
+/// addresses, transport and payload). Used for per-source duplicate
+/// detection; two records collide only if byte-identical (up to hash
+/// collisions, which only ever *under*-count duplicates of faults the
+/// injector deliberately made byte-identical).
+pub fn record_hash(record: &PacketRecord) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for byte in record.ts.as_micros().to_be_bytes() {
+        eat(byte);
+    }
+    for byte in record.src.octets() {
+        eat(byte);
+    }
+    for byte in record.dst.octets() {
+        eat(byte);
+    }
+    match &record.transport {
+        Transport::Udp {
+            src_port,
+            dst_port,
+            payload,
+        } => {
+            eat(0x11);
+            for byte in src_port.to_be_bytes() {
+                eat(byte);
+            }
+            for byte in dst_port.to_be_bytes() {
+                eat(byte);
+            }
+            for &byte in payload.iter() {
+                eat(byte);
+            }
+        }
+        Transport::Tcp {
+            src_port,
+            dst_port,
+            flags,
+        } => {
+            eat(0x06);
+            for byte in src_port.to_be_bytes() {
+                eat(byte);
+            }
+            for byte in dst_port.to_be_bytes() {
+                eat(byte);
+            }
+            eat(u8::from(flags.syn)
+                | u8::from(flags.ack) << 1
+                | u8::from(flags.rst) << 2
+                | u8::from(flags.fin) << 3);
+        }
+        Transport::Icmp { kind } => {
+            eat(0x01);
+            eat(match kind {
+                quicsand_net::IcmpKind::EchoRequest => 8,
+                quicsand_net::IcmpKind::EchoReply => 0,
+                quicsand_net::IcmpKind::DestUnreachable => 3,
+                quicsand_net::IcmpKind::TtlExceeded => 11,
+            });
+        }
+    }
+    hash
 }
 
 /// The telescope pipeline. Feed records in capture order; collect
 /// QUIC observations and pass-through baseline records.
 #[derive(Debug, Default)]
 pub struct TelescopePipeline {
+    guard: GuardConfig,
+    guards: HashMap<Ipv4Addr, SourceGuard>,
     stats: IngestStats,
     quic: Vec<QuicObservation>,
     baseline: Vec<PacketRecord>,
 }
 
 impl TelescopePipeline {
-    /// Creates an empty pipeline.
+    /// Creates an empty pipeline with the default [`GuardConfig`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty pipeline with explicit guard thresholds.
+    pub fn with_guard(guard: GuardConfig) -> Self {
+        TelescopePipeline {
+            guard,
+            ..Self::default()
+        }
     }
 
     /// Ingests one record.
@@ -94,15 +381,54 @@ impl TelescopePipeline {
         self.ingest_classified(record, classify_record(record));
     }
 
+    /// Runs the pre-classification guard: duplicate suppression and
+    /// per-source backwards-timestamp checks. Guard state advances
+    /// *unconditionally* (even for quarantined records), so the
+    /// decision sequence for a source depends only on that source's
+    /// record stream — the invariant behind N-shard ≡ 1-shard.
+    fn guard_check(&mut self, record: &PacketRecord) -> Option<IngestError> {
+        let hash = record_hash(record);
+        match self.guards.entry(record.src) {
+            Entry::Vacant(slot) => {
+                slot.insert(SourceGuard {
+                    max_ts: record.ts,
+                    last_hash: hash,
+                });
+                None
+            }
+            Entry::Occupied(mut slot) => {
+                let state = slot.get_mut();
+                let duplicate = self.guard.dedup && state.last_hash == hash;
+                let backwards = state.max_ts.saturating_since(record.ts);
+                if record.ts > state.max_ts {
+                    state.max_ts = record.ts;
+                }
+                state.last_hash = hash;
+                if duplicate {
+                    Some(IngestError::Duplicate)
+                } else if backwards.as_micros() > self.guard.skew_horizon.as_micros() {
+                    Some(IngestError::ClockSkew { backwards })
+                } else if backwards.as_micros() > self.guard.reorder_tolerance.as_micros() {
+                    Some(IngestError::Reordered { backwards })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Ingests one record under an externally supplied classification.
     ///
-    /// This is the panic-free core of [`ingest`](Self::ingest): if the
-    /// classification claims a QUIC candidate but the record lacks a
-    /// UDP payload or ports (truncated capture, forged metadata), the
-    /// record is counted in [`IngestStats::malformed`] and dropped
-    /// rather than crashing the whole run.
+    /// This is the panic-free core of [`ingest`](Self::ingest): guard
+    /// rejections (duplicates, backwards timestamps) and dissection
+    /// failures are counted per kind in [`IngestStats::quarantine`]
+    /// and dropped rather than crashing the whole run.
     pub fn ingest_classified(&mut self, record: &PacketRecord, classification: Classification) {
         self.stats.total += 1;
+        if let Some(error) = self.guard_check(record) {
+            self.stats.quarantine.record(&error);
+            return;
+        }
         match classification {
             Classification::QuicCandidate(direction) => {
                 self.stats.quic_candidates += 1;
@@ -117,7 +443,9 @@ impl TelescopePipeline {
                     _ => {
                         // Classification disagrees with the transport:
                         // degrade gracefully instead of panicking.
-                        self.stats.malformed += 1;
+                        self.stats
+                            .quarantine
+                            .record(&IngestError::TransportMismatch);
                         return;
                     }
                 };
@@ -134,8 +462,14 @@ impl TelescopePipeline {
                             dissected,
                         });
                     }
-                    Err(_) => {
+                    Err(error) => {
+                        // Every dissector rejection remains a port-filter
+                        // false positive (the paper's §4.1 scalar); the
+                        // quarantine taxonomy is the finer breakdown.
                         self.stats.quic_false_positives += 1;
+                        self.stats
+                            .quarantine
+                            .record(&IngestError::from_dissect(&error));
                     }
                 }
             }
@@ -282,17 +616,18 @@ mod tests {
     }
 
     #[test]
-    fn forged_quic_classification_on_non_udp_record_is_malformed_not_panic() {
+    fn forged_quic_classification_on_non_udp_record_is_quarantined_not_panic() {
         // A corrupt capture can mislabel a record: here an ICMP record
         // arrives with a QUIC-candidate classification. The pipeline
-        // must count it as malformed and keep going — the seed
-        // version panicked on `udp_payload().expect(..)`.
+        // must quarantine it as a transport mismatch and keep going —
+        // the seed version panicked on `udp_payload().expect(..)`.
         let mut p = TelescopePipeline::new();
         let icmp = PacketRecord::icmp(Timestamp::from_secs(1), ip(1), ip(2), IcmpKind::EchoReply);
         p.ingest_classified(&icmp, Classification::QuicCandidate(Direction::Request));
         assert_eq!(p.stats().total, 1);
         assert_eq!(p.stats().quic_candidates, 1);
-        assert_eq!(p.stats().malformed, 1);
+        assert_eq!(p.stats().quarantine.transport_mismatch, 1);
+        assert_eq!(p.stats().quarantine.total(), 1);
         assert_eq!(p.stats().quic_valid, 0);
         assert_eq!(p.stats().quic_false_positives, 0);
         assert!(p.quic_observations().is_empty());
@@ -318,14 +653,108 @@ mod tests {
             icmp: 2,
             other_udp: 1,
             ambiguous: 1,
-            malformed: 1,
+            quarantine: QuarantineStats {
+                truncated: 1,
+                duplicate: 2,
+                ..QuarantineStats::default()
+            },
             ..IngestStats::default()
         };
         a.merge(&b);
         assert_eq!(a.total, 7);
         assert_eq!(a.quic_candidates, 2);
         assert_eq!(a.icmp, 2);
-        assert_eq!(a.malformed, 1);
+        assert_eq!(a.quarantine.truncated, 1);
+        assert_eq!(a.quarantine.duplicate, 2);
+        assert_eq!(a.quarantine.total(), 3);
+    }
+
+    #[test]
+    fn duplicate_record_quarantined_per_source() {
+        let mut p = TelescopePipeline::new();
+        let record = quic_record(1);
+        p.ingest(&record);
+        p.ingest(&record); // byte-identical replay
+        assert_eq!(p.stats().quarantine.duplicate, 1);
+        assert_eq!(p.stats().quic_valid, 1);
+        // A different source sending the same bytes is NOT a duplicate.
+        let mut other = record.clone();
+        other.src = ip(77);
+        p.ingest(&other);
+        assert_eq!(p.stats().quarantine.duplicate, 1);
+        assert_eq!(p.stats().quic_valid, 2);
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let mut p = TelescopePipeline::with_guard(GuardConfig {
+            dedup: false,
+            ..GuardConfig::default()
+        });
+        let record = quic_record(1);
+        p.ingest(&record);
+        p.ingest(&record);
+        assert_eq!(p.stats().quarantine.duplicate, 0);
+        assert_eq!(p.stats().quic_valid, 2);
+    }
+
+    #[test]
+    fn backwards_timestamps_reordered_vs_clock_skew() {
+        let guard = GuardConfig::default();
+        let mut p = TelescopePipeline::new();
+        p.ingest(&quic_record(1_000));
+        // Within tolerance: admitted.
+        p.ingest(&quic_record(999));
+        assert_eq!(p.stats().quarantine.total(), 0);
+        assert_eq!(p.stats().quic_valid, 2);
+        // Past tolerance, within horizon: reordered.
+        p.ingest(&quic_record(1_000 - guard.reorder_tolerance.as_secs() - 1));
+        assert_eq!(p.stats().quarantine.reordered, 1);
+        // Past the horizon: clock skew.
+        p.ingest(&quic_record(1_000 - guard.skew_horizon.as_secs() - 1));
+        assert_eq!(p.stats().quarantine.clock_skew, 1);
+        // The watermark did not move backwards: a fresh in-order record
+        // is still admitted.
+        p.ingest(&quic_record(1_001));
+        assert_eq!(p.stats().quic_valid, 3);
+        assert_eq!(p.stats().quarantine.total(), 2);
+    }
+
+    #[test]
+    fn quarantined_dissect_failures_count_as_false_positives_too() {
+        let mut p = TelescopePipeline::new();
+        // Empty UDP/443 payload.
+        p.ingest(&PacketRecord::udp(
+            Timestamp::from_secs(1),
+            ip(1),
+            ip(2),
+            40_000,
+            443,
+            Bytes::new(),
+        ));
+        assert_eq!(p.stats().quarantine.empty_payload, 1);
+        assert_eq!(p.stats().quic_false_positives, 1);
+    }
+
+    #[test]
+    fn ingest_error_labels_are_stable() {
+        assert_eq!(IngestError::Truncated.label(), "truncated");
+        assert_eq!(IngestError::BadVersion(7).label(), "bad-version");
+        assert_eq!(IngestError::TransportMismatch.label(), "transport-mismatch");
+        let table = QuarantineStats::default().as_table();
+        assert_eq!(table.len(), 9);
+        assert_eq!(table[0].0, "truncated");
+        assert_eq!(format!("{}", IngestError::BadCid(21)), "bad-cid(21)");
+    }
+
+    #[test]
+    fn record_hash_distinguishes_fields() {
+        let a = quic_record(1);
+        assert_eq!(record_hash(&a), record_hash(&a.clone()));
+        assert_ne!(record_hash(&a), record_hash(&quic_record(2)));
+        let mut b = a.clone();
+        b.dst = ip(200);
+        assert_ne!(record_hash(&a), record_hash(&b));
     }
 
     #[test]

@@ -28,4 +28,33 @@ fi
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> golden-figure regression suite"
+if [[ $quick -eq 0 ]]; then
+  cargo test -q --release --test golden
+else
+  cargo test -q --test golden
+fi
+
+echo "==> faulted-smoke: CLI under the standard fault profile"
+# The pipeline must survive a seeded adversarial fault mix (exit 0) and
+# visibly quarantine it (nonzero per-kind counters in the breakdown).
+profile_flag=""
+[[ $quick -eq 0 ]] && profile_flag="--release"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q $profile_flag -- generate --out "$smoke_dir/smoke.qscp" --scale test --seed 7
+smoke_out="$(cargo run -q $profile_flag -- analyze "$smoke_dir/smoke.qscp" \
+  --scale test --seed 7 --fault-profile standard --fault-seed 7 2>&1)"
+echo "$smoke_out" | grep -E '^quarantine: ' || {
+  echo "faulted-smoke: no quarantine breakdown in output" >&2
+  echo "$smoke_out" >&2
+  exit 1
+}
+quarantined="$(echo "$smoke_out" | sed -n 's/.* \([0-9][0-9]*\) quarantined$/\1/p')"
+if [[ -z "$quarantined" || "$quarantined" -eq 0 ]]; then
+  echo "faulted-smoke: expected nonzero quarantine count, got '${quarantined:-none}'" >&2
+  exit 1
+fi
+echo "faulted-smoke: $quarantined records quarantined, exit 0 — OK"
+
 echo "CI green."

@@ -8,6 +8,7 @@
 //! ```
 
 use quicsand_core::{Analysis, AnalysisConfig};
+use quicsand_faults::{FaultPlan, FaultProfile};
 use quicsand_net::capture::{CaptureReader, CaptureWriter};
 use quicsand_sessions::multivector::MultiVectorClass;
 use quicsand_sessions::Cdf;
@@ -50,9 +51,14 @@ USAGE:
         Generate a synthetic telescope capture and write it to disk.
 
     quicsand analyze <file.qscp> [--threads N]
+                     [--fault-profile none|standard|aggressive] [--fault-seed N]
         Run the sessionization + DoS-inference pipeline on a capture.
         --threads shards ingest+sessionization by source across N
         workers (default: all cores); results are identical at any N.
+        --fault-profile injects a seeded adversarial fault mix
+        (truncation, corrupt versions, duplicates, clock skew, ...)
+        into the record stream before ingest, to exercise the
+        quarantine path; --fault-seed varies the mix (default 0xF4017).
 
     quicsand replay --pps <rate> [--requests N] [--workers N]
                     [--retry | --adaptive <occupancy>]
@@ -101,6 +107,30 @@ fn analysis_config(args: &[String]) -> Result<AnalysisConfig, String> {
             ))?;
     }
     Ok(config)
+}
+
+/// Builds a [`FaultPlan`] from `--fault-profile` / `--fault-seed`.
+///
+/// `Ok(None)` when no profile is requested; `--fault-seed` without a
+/// profile is rejected rather than silently ignored.
+fn fault_plan(args: &[String]) -> Result<Option<FaultPlan>, String> {
+    let profile = flag_value(args, "--fault-profile")?;
+    let seed = flag_value(args, "--fault-seed")?;
+    let Some(profile) = profile else {
+        if seed.is_some() {
+            return Err("--fault-seed requires --fault-profile".into());
+        }
+        return Ok(None);
+    };
+    let profile: FaultProfile = profile.parse()?;
+    let seed: u64 = seed
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("invalid --fault-seed `{s}` (want a u64)"))
+        })
+        .transpose()?
+        .unwrap_or(0xF4017);
+    Ok(Some(FaultPlan::new(profile, seed)))
 }
 
 fn scale_config(args: &[String]) -> Result<ScenarioConfig, String> {
@@ -165,14 +195,42 @@ fn positional(args: &[String]) -> Option<&String> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     // Validate flags before touching the filesystem.
-    let analysis_cfg = analysis_config(args)?;
+    let mut analysis_cfg = analysis_config(args)?;
+    let plan = fault_plan(args)?;
     let path = positional(args).ok_or("analyze requires a capture path")?;
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let reader =
         CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
     let records: Result<Vec<_>, _> = reader.collect();
-    let records = records.map_err(|e| format!("read records: {e}"))?;
+    let mut records = records.map_err(|e| format!("read records: {e}"))?;
     eprintln!("loaded {} records; running pipeline...", records.len());
+
+    let fault_summary = plan.map(|mut plan| {
+        // The injector computes jitter/reorder deltas against the same
+        // guard thresholds the pipeline will enforce.
+        analysis_cfg.guard = plan.profile().guard;
+        records = plan.apply_all(&records);
+        *plan.summary()
+    });
+    if let Some(summary) = &fault_summary {
+        let breakdown: Vec<String> = summary
+            .as_table()
+            .iter()
+            .filter(|(_, count)| *count > 0)
+            .map(|(label, count)| format!("{label} {count}"))
+            .collect();
+        eprintln!(
+            "fault injection: {} -> {} records, {} fault(s): {}",
+            summary.input_records,
+            summary.emitted_records,
+            summary.total_injected(),
+            if breakdown.is_empty() {
+                "none".into()
+            } else {
+                breakdown.join(", ")
+            }
+        );
+    }
 
     // The world is rebuilt deterministically; AS/provider lookups for a
     // *foreign* capture will classify unknown sources as `other`.
@@ -203,14 +261,24 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 
     let stats = &analysis.ingest;
     println!(
-        "ingest: {} records, {} valid QUIC, {} false positives, {} TCP, {} ICMP, {} malformed",
+        "ingest: {} records, {} valid QUIC, {} false positives, {} TCP, {} ICMP, {} quarantined",
         stats.total,
         stats.quic_valid,
         stats.quic_false_positives,
         stats.tcp,
         stats.icmp,
-        stats.malformed
+        stats.quarantine.total()
     );
+    if stats.quarantine.total() > 0 {
+        let breakdown: Vec<String> = stats
+            .quarantine
+            .as_table()
+            .iter()
+            .filter(|(_, count)| *count > 0)
+            .map(|(label, count)| format!("{label} {count}"))
+            .collect();
+        println!("quarantine: {}", breakdown.join(", "));
+    }
     let pipeline = &analysis.stats;
     println!(
         "pipeline: {} thread(s), {:.0} records/s ingest; stage walltime \

@@ -2,10 +2,12 @@
 //! the persistence path is how real deployments would feed the tool.
 
 use quicsand_core::{Analysis, AnalysisConfig};
-use quicsand_net::capture::{CaptureReader, CaptureWriter};
+use quicsand_net::capture::{self, CaptureReader, CaptureWriter};
+use quicsand_net::{PacketRecord, Timestamp};
 use quicsand_traffic::{Scenario, ScenarioConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::net::Ipv4Addr;
 
 #[test]
 fn file_roundtrip_preserves_analysis() {
@@ -53,4 +55,85 @@ fn file_roundtrip_preserves_analysis() {
     assert_eq!(original.ingest, reanalyzed.ingest);
 
     std::fs::remove_file(&path).unwrap();
+}
+
+/// A zero-length UDP payload is a legal darknet observation (it is
+/// exactly what some liveness probes look like) — the capture format
+/// must persist it losslessly, and ingest must quarantine rather than
+/// misparse it.
+#[test]
+fn zero_length_payload_roundtrips_and_is_quarantined() {
+    let record = PacketRecord::udp(
+        Timestamp::from_micros(1_000),
+        Ipv4Addr::new(203, 0, 113, 9),
+        Ipv4Addr::new(128, 0, 0, 1),
+        40000,
+        443,
+        bytes::Bytes::new(),
+    );
+    let bytes = capture::to_bytes(std::slice::from_ref(&record)).unwrap();
+    let back = capture::from_bytes(&bytes).unwrap();
+    assert_eq!(back, vec![record.clone()]);
+
+    let mut pipeline = quicsand_telescope::TelescopePipeline::new();
+    pipeline.ingest(&record);
+    assert_eq!(pipeline.stats().quarantine.empty_payload, 1);
+}
+
+/// A QUIC Initial carrying the maximum legal 20-byte connection IDs
+/// must survive the capture format byte-for-byte and still dissect —
+/// the boundary the oversized-CID fault sits one byte past.
+#[test]
+fn max_length_cid_packet_roundtrips_and_dissects() {
+    use quicsand_wire::crypto::{Direction, InitialSecrets};
+    use quicsand_wire::{ConnectionId, Frame, Packet, PacketPayload, Version};
+
+    let dcid = ConnectionId::new(&[0x5A; 20]).unwrap();
+    let scid = ConnectionId::new(&[0xA5; 20]).unwrap();
+    let packet = Packet::Initial {
+        version: Version::V1,
+        dcid,
+        scid,
+        token: bytes::Bytes::new(),
+        packet_number: 0,
+        payload: PacketPayload::new(vec![Frame::Ping]),
+    };
+    let key = InitialSecrets::derive(Version::V1, &dcid).key(Direction::ClientToServer);
+    let wire = packet.encode(Some(key)).unwrap();
+
+    let record = PacketRecord::udp(
+        Timestamp::from_micros(2_000),
+        Ipv4Addr::new(203, 0, 113, 10),
+        Ipv4Addr::new(128, 0, 0, 2),
+        50000,
+        443,
+        bytes::Bytes::from(wire),
+    );
+    let bytes = capture::to_bytes(std::slice::from_ref(&record)).unwrap();
+    let back = capture::from_bytes(&bytes).unwrap();
+    assert_eq!(back, vec![record.clone()]);
+
+    let quicsand_net::Transport::Udp { payload, .. } = &back[0].transport else {
+        panic!("expected udp transport");
+    };
+    let dissected = quicsand_dissect::dissect_udp_payload(payload).expect("max-CID packet parses");
+    assert!(!dissected.messages.is_empty());
+}
+
+/// Declaring more payload than any datagram can carry must be rejected
+/// by the reader before it allocates.
+#[test]
+fn hostile_declared_length_is_rejected() {
+    let mut bytes = capture::to_bytes(&[]).unwrap();
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // ts
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // src
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // dst
+    bytes.push(0); // TAG_UDP
+    bytes.extend_from_slice(&40000u16.to_le_bytes());
+    bytes.extend_from_slice(&443u16.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        capture::from_bytes(&bytes),
+        Err(capture::CaptureError::OversizedPayload(u32::MAX))
+    ));
 }

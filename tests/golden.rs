@@ -1,0 +1,112 @@
+//! Golden-figure regression tests.
+//!
+//! Every paper artifact (fig02–fig13 + tab01) is regenerated from a
+//! fixed seed and compared byte-for-byte against a checked-in JSON
+//! snapshot under `tests/golden/`. Reports carry no wall-clock timings,
+//! so the snapshots are stable across machines; any drift means an
+//! intentional algorithm change (re-bless) or an accidental regression
+//! (fix it).
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use quicsand_core::{experiments as exp, Analysis, AnalysisConfig, Report};
+use quicsand_traffic::{Scenario, ScenarioConfig};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares one report against its snapshot, or re-blesses it when
+/// `UPDATE_GOLDEN` is set. Returns a drift description instead of
+/// panicking so the caller can report *all* drifted artifacts at once.
+fn check(report: &Report) -> Result<(), String> {
+    let path = golden_dir().join(format!("{}.json", report.id));
+    let mut rendered = report.to_json().expect("report serializes");
+    rendered.push('\n');
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write snapshot");
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "{}: missing snapshot {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden`",
+            report.id,
+            path.display()
+        )
+    })?;
+    if rendered != expected {
+        // Point at the first differing line to keep failures readable.
+        let diff_line = rendered
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("first diff at line {}: got `{a}`, want `{b}`", i + 1))
+            .unwrap_or_else(|| "reports differ in length".to_string());
+        return Err(format!(
+            "{}: drift against {} — {diff_line}\n  \
+             (re-bless with `UPDATE_GOLDEN=1 cargo test --test golden` if intentional)",
+            report.id,
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+/// All scenario-derived artifacts, regenerated at the fixed test seed
+/// on a single thread, must match their checked-in snapshots.
+#[test]
+fn figures_match_golden_snapshots() {
+    let config = ScenarioConfig::test();
+    let scenario = Scenario::generate(&config);
+    let analysis = Analysis::run(
+        &scenario,
+        &AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        },
+    );
+
+    let reports = vec![
+        exp::fig02::run(&scenario, &analysis),
+        exp::fig03::run(&scenario, &analysis),
+        exp::fig04::run(&analysis),
+        exp::fig05::run(&scenario, &analysis),
+        exp::fig06::run(&analysis),
+        exp::fig07::run(&analysis),
+        exp::fig08::run(&analysis),
+        exp::fig09::run(&scenario, &analysis),
+        exp::fig10::run(&scenario, &analysis),
+        exp::fig11::run(&analysis),
+        exp::fig12::run(&analysis),
+        exp::fig13::run(&analysis),
+    ];
+
+    let drifted: Vec<String> = reports
+        .iter()
+        .filter_map(|report| check(report).err())
+        .collect();
+    assert!(
+        drifted.is_empty(),
+        "golden drift in {} artifact(s):\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}
+
+/// Table 1 (server resiliency replay) at the standard sub-sampled
+/// scale must match its snapshot: the replay model is seeded, so any
+/// drift is a behavior change in the server model, not noise.
+#[test]
+fn tab01_matches_golden_snapshot() {
+    let report = exp::tab01::run_scaled(0.01);
+    if let Err(drift) = check(&report) {
+        panic!("{drift}");
+    }
+}

@@ -3,10 +3,11 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use quicsand_net::{Duration, Timestamp};
+use quicsand_faults::{FaultPlan, FaultProfile};
+use quicsand_net::{Duration, IcmpKind, PacketRecord, TcpFlags, Timestamp};
 use quicsand_sessions::dos::{detect_attacks, AttackProtocol, DosThresholds};
 use quicsand_sessions::session::{sessionize, timeout_sweep, SessionConfig, Sessionizer};
-use quicsand_telescope::shard_of;
+use quicsand_telescope::{ingest_parallel_with, shard_of, IngestStats, TelescopePipeline};
 use quicsand_wire::crypto::InitialSecrets;
 use quicsand_wire::packet::{parse_datagram, Packet, PacketPayload};
 use quicsand_wire::{ConnectionId, Frame, Version};
@@ -14,6 +15,67 @@ use std::net::Ipv4Addr;
 
 fn ip(last: u8) -> Ipv4Addr {
     Ipv4Addr::new(10, 77, 0, last)
+}
+
+/// The ingest accounting identity: every offered record lands in
+/// exactly one bucket — a QUIC observation, the TCP/ICMP baseline, an
+/// out-of-scope UDP class, or one quarantine counter.
+fn assert_conservation(stats: &IngestStats) {
+    assert_eq!(
+        stats.total,
+        stats.quic_valid
+            + stats.tcp
+            + stats.icmp
+            + stats.other_udp
+            + stats.ambiguous
+            + stats.quarantine.total(),
+        "records must be conserved across classification buckets: {stats:?}"
+    );
+}
+
+/// Drives ≥10k records from a generated scenario through the fault
+/// injector and then through 1-, 2- and 8-shard ingest. The per-kind
+/// quarantine counters must equal the clean run's counters plus the
+/// injector's own per-kind oracle — *exactly*, at every shard count —
+/// and all shard counts must agree on every product.
+#[test]
+fn fault_quarantine_oracle_is_exact_across_shard_counts() {
+    let scenario = quicsand_traffic::Scenario::generate(&quicsand_traffic::ScenarioConfig::test());
+    let clean: Vec<PacketRecord> = scenario.records.iter().take(20_000).cloned().collect();
+    assert!(clean.len() >= 10_000, "need a meaningful record volume");
+
+    let profile = FaultProfile::standard();
+    let guard = profile.guard;
+    let mut plan = FaultPlan::new(profile, 0xFA57);
+    let faulted = plan.apply_all(&clean);
+    let summary = *plan.summary();
+    assert!(summary.total_injected() > 0, "profile must inject faults");
+
+    let (_, _, clean_stats) = ingest_parallel_with(&clean, 1, guard);
+    assert_conservation(&clean_stats);
+
+    let mut expected = clean_stats.quarantine;
+    expected.merge(&summary.expected_quarantine());
+
+    let single = ingest_parallel_with(&faulted, 1, guard);
+    for threads in [1usize, 2, 8] {
+        let (observations, baseline, stats) = ingest_parallel_with(&faulted, threads, guard);
+        assert_conservation(&stats);
+        assert_eq!(
+            stats.quarantine, expected,
+            "per-kind quarantine must equal clean + injected oracle at {threads} shard(s)"
+        );
+        assert_eq!(
+            stats.total, summary.emitted_records,
+            "every emitted record must be offered"
+        );
+        assert_eq!(
+            observations, single.0,
+            "observations differ at {threads} shards"
+        );
+        assert_eq!(baseline, single.1, "baseline differs at {threads} shards");
+        assert_eq!(stats, single.2, "stats differ at {threads} shards");
+    }
 }
 
 proptest! {
@@ -81,7 +143,7 @@ proptest! {
             .collect();
         packets.sort_by_key(|(ts, _)| *ts);
         let timeout = Duration::from_secs(timeout_secs);
-        let sessions = sessionize(packets.iter().copied(), SessionConfig { timeout });
+        let sessions = sessionize(packets.iter().copied(), SessionConfig { timeout, skew_tolerance: Duration::ZERO });
         let total: u64 = sessions.iter().map(|s| s.packet_count).sum();
         prop_assert_eq!(total, packets.len() as u64);
         // Per-source sessions are disjoint and separated by > timeout.
@@ -114,7 +176,7 @@ proptest! {
         let sweep = timeout_sweep(packets.iter().copied(), &timeouts);
         for (timeout, count) in sweep.counts {
             let direct =
-                sessionize(packets.iter().copied(), SessionConfig { timeout }).len() as u64;
+                sessionize(packets.iter().copied(), SessionConfig { timeout, skew_tolerance: Duration::ZERO }).len() as u64;
             prop_assert_eq!(count, direct, "timeout {}", timeout);
         }
     }
@@ -134,7 +196,7 @@ proptest! {
             .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
             .collect();
         packets.sort_by_key(|(ts, _)| *ts);
-        let config = SessionConfig { timeout: Duration::from_secs(timeout_secs) };
+        let config = SessionConfig { timeout: Duration::from_secs(timeout_secs), skew_tolerance: Duration::ZERO };
         let mut expected = sessionize(packets.iter().copied(), config);
         expected.sort_by_key(|s| (s.start, s.src));
         let mut sharded = Vec::new();
@@ -163,7 +225,7 @@ proptest! {
             .map(|(s, src)| (Timestamp::from_secs(s), ip(src)))
             .collect();
         packets.sort_by_key(|(ts, _)| *ts);
-        let config = SessionConfig { timeout: Duration::from_secs(timeout_secs) };
+        let config = SessionConfig { timeout: Duration::from_secs(timeout_secs), skew_tolerance: Duration::ZERO };
         let mut sessionizer = Sessionizer::new(config);
         let mut collected = Vec::new();
         for (i, (ts, src)) in packets.iter().enumerate() {
@@ -179,6 +241,83 @@ proptest! {
         expected.sort_by_key(|s| (s.start, s.src));
         collected.sort_by_key(|s| (s.start, s.src));
         prop_assert_eq!(collected, expected);
+    }
+
+    /// Every record offered to the pipeline — however arbitrary its
+    /// transport, ports, payload and timestamp — lands in exactly one
+    /// classification bucket, and nothing panics. Survival and
+    /// conservation as one law.
+    #[test]
+    fn prop_ingest_conserves_arbitrary_records(
+        raw in proptest::collection::vec(
+            (0u64..100_000, 0u8..6, 0u8..3, any::<u16>(), any::<u16>(),
+             proptest::collection::vec(any::<u8>(), 0..64)),
+            1..200,
+        ),
+    ) {
+        let records: Vec<PacketRecord> = raw
+            .into_iter()
+            .map(|(micros, src, kind, sport, dport, payload)| {
+                let ts = Timestamp::from_micros(micros);
+                let (src, dst) = (ip(src), Ipv4Addr::new(128, 0, 0, 1));
+                match kind {
+                    0 => PacketRecord::udp(ts, src, dst, sport, dport, Bytes::from(payload)),
+                    1 => PacketRecord::tcp(ts, src, dst, sport, dport, TcpFlags::SYN_ACK),
+                    _ => PacketRecord::icmp(ts, src, dst, IcmpKind::EchoRequest),
+                }
+            })
+            .collect();
+        let mut pipeline = TelescopePipeline::new();
+        pipeline.ingest_all(&records);
+        let (_, _, stats) = pipeline.finish();
+        prop_assert_eq!(stats.total, records.len() as u64);
+        prop_assert_eq!(
+            stats.total,
+            stats.quic_valid + stats.tcp + stats.icmp + stats.other_udp
+                + stats.ambiguous + stats.quarantine.total()
+        );
+    }
+
+    /// The fault injector and the hardened pipeline survive *any*
+    /// byte-mutated record stream: injection never panics, and the
+    /// faulted stream still satisfies conservation at every shard
+    /// count — even when the base stream violates the injector's
+    /// time-ordering assumption.
+    #[test]
+    fn prop_faulted_arbitrary_streams_never_panic(
+        raw in proptest::collection::vec(
+            (0u64..100_000, 0u8..4, proptest::collection::vec(any::<u8>(), 0..48)),
+            1..120,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let records: Vec<PacketRecord> = raw
+            .into_iter()
+            .map(|(micros, src, payload)| {
+                PacketRecord::udp(
+                    Timestamp::from_micros(micros),
+                    ip(src),
+                    Ipv4Addr::new(128, 0, 0, 1),
+                    40_000,
+                    443,
+                    Bytes::from(payload),
+                )
+            })
+            .collect();
+        let profile = FaultProfile::aggressive();
+        let guard = profile.guard;
+        let mut plan = FaultPlan::new(profile, seed);
+        let faulted = plan.apply_all(&records);
+        prop_assert_eq!(faulted.len() as u64, plan.summary().emitted_records);
+        for threads in [1usize, 2] {
+            let (_, _, stats) = ingest_parallel_with(&faulted, threads, guard);
+            prop_assert_eq!(stats.total, faulted.len() as u64);
+            prop_assert_eq!(
+                stats.total,
+                stats.quic_valid + stats.tcp + stats.icmp + stats.other_udp
+                    + stats.ambiguous + stats.quarantine.total()
+            );
+        }
     }
 
     /// Stricter thresholds never detect more attacks (the Fig. 10
