@@ -1,0 +1,81 @@
+//! Throughput of the streaming flood-detection engine on the ambient
+//! scale (`QUICSAND_SCALE`, default demo), across shard counts and a
+//! sweep of chunk sizes at the best shard count.
+//!
+//! ```text
+//! cargo run --release -p quicsand-bench --bin live_throughput
+//! ```
+//!
+//! Prints records/second through the full live path (ingest guard →
+//! per-victim state → alert lifecycle), the event volume, and the peak
+//! number of tracked victims — the engine's memory high-water mark.
+
+use quicsand_bench::Scale;
+use quicsand_live::{LiveConfig, LiveEngine};
+use quicsand_sessions::SessionConfig;
+use quicsand_telescope::GuardConfig;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[quicsand] generating scenario (scale={}, set QUICSAND_SCALE=test|demo|paper to change)",
+        scale.label()
+    );
+    let scenario = quicsand_traffic::Scenario::generate(&scale.scenario_config());
+    let records = &scenario.records;
+    let guard = GuardConfig::default();
+    let config = LiveConfig {
+        session: SessionConfig {
+            skew_tolerance: guard.reorder_tolerance,
+            ..SessionConfig::default()
+        },
+        ..LiveConfig::default()
+    };
+
+    println!(
+        "live engine over {} records ({} scale), {} cores available",
+        records.len(),
+        scale.label(),
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    println!(
+        "{:>7} {:>7}  {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "shards", "chunk", "wall", "rec/s", "events", "peak", "speedup"
+    );
+
+    let mut base = 0.0f64;
+    let run = |shards: usize, chunk: usize, base: f64| -> f64 {
+        let mut engine = LiveEngine::new(config, guard, shards);
+        let t0 = Instant::now();
+        let mut events = 0usize;
+        for part in records.chunks(chunk) {
+            events += engine.offer_chunk(part).len();
+        }
+        events += engine.finish().len();
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = engine.live_stats();
+        assert!(
+            stats.closed > 0,
+            "the scenario must close at least one alert"
+        );
+        println!(
+            "{shards:>7} {chunk:>7}  {:>9.2}s {:>12.0} {events:>8} {:>8} {:>7.2}x",
+            wall,
+            records.len() as f64 / wall,
+            stats.peak_tracked,
+            if base > 0.0 { base / wall } else { 1.0 },
+        );
+        wall
+    };
+
+    for shards in [1usize, 2, 4, 8] {
+        let wall = run(shards, 4096, base);
+        if shards == 1 {
+            base = wall;
+        }
+    }
+    for chunk in [256usize, 1024, 16_384] {
+        run(8, chunk, base);
+    }
+}

@@ -21,6 +21,7 @@ use quicsand_sessions::dos::{detect_attacks, Attack, AttackProtocol, DosThreshol
 use quicsand_sessions::multivector::{classify_multivector, MultiVectorReport};
 use quicsand_sessions::session::{Session, SessionConfig, Sessionizer};
 use quicsand_telescope::parallel::{ingest_shard_with, partition_by_source};
+pub use quicsand_telescope::PipelineStats;
 use quicsand_telescope::{
     GuardConfig, HourlySeries, IngestStats, QuicObservation, ResearchFilter, TelescopePipeline,
 };
@@ -67,54 +68,6 @@ impl Default for AnalysisConfig {
             threads: default_threads(),
             guard: GuardConfig::default(),
         }
-    }
-}
-
-/// Wall-clock and memory telemetry for one [`Analysis::run`].
-///
-/// Timings vary run to run, so this struct is deliberately *not* part
-/// of the deterministic analysis products (reports never include it);
-/// it is surfaced by `quicsand analyze` for operators.
-#[derive(Debug, Clone, Default)]
-pub struct PipelineStats {
-    /// Worker threads actually used.
-    pub threads: usize,
-    /// Records ingested.
-    pub records: u64,
-    /// Ingest stage (classify + dissect) wall time, ms. In the
-    /// parallel path this is the slowest shard (critical path).
-    pub ingest_ms: f64,
-    /// Sanitize stage (research-scanner detection + split) wall time, ms.
-    pub sanitize_ms: f64,
-    /// Sessionization wall time, ms.
-    pub sessionize_ms: f64,
-    /// DoS inference + multi-vector correlation wall time, ms.
-    pub detect_ms: f64,
-    /// Sum of the sessionizers' open-session high-water marks — an
-    /// upper bound on simultaneously held per-source state, the
-    /// quantity the watermark expiry keeps O(active sources).
-    pub peak_open_sessions: usize,
-    /// Records the ingest guard + dissector quarantined, all kinds
-    /// summed (the per-kind breakdown lives in
-    /// [`IngestStats::quarantine`]).
-    pub quarantined: u64,
-}
-
-impl PipelineStats {
-    /// Ingest throughput in records per second.
-    pub fn ingest_records_per_sec(&self) -> f64 {
-        if self.ingest_ms <= 0.0 {
-            0.0
-        } else {
-            self.records as f64 / (self.ingest_ms / 1_000.0)
-        }
-    }
-
-    fn max_stage(&mut self, other: &PipelineStats) {
-        self.ingest_ms = self.ingest_ms.max(other.ingest_ms);
-        self.sanitize_ms = self.sanitize_ms.max(other.sanitize_ms);
-        self.sessionize_ms = self.sessionize_ms.max(other.sessionize_ms);
-        self.peak_open_sessions += other.peak_open_sessions;
     }
 }
 

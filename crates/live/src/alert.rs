@@ -1,0 +1,215 @@
+//! Alert lifecycle events and their text/JSON renderings.
+//!
+//! The batch pipeline ends with a terminal `Vec<Attack>`; the live
+//! engine instead narrates each flood as it unfolds:
+//!
+//! ```text
+//! Opened ──► Escalated ──► Closed ──► Reclassified*
+//! ```
+//!
+//! All three DoS measures (packet count, duration, max 1-minute rate)
+//! are monotone non-decreasing while a session is open, so the state
+//! machine only ever moves forward — an alert can never "un-open", which
+//! is the structural hysteresis that keeps alerts from flapping.
+//! `Closed` carries the final [`Attack`] (identical to what batch
+//! `detect_attacks` would emit for the same session) plus the victim's
+//! multi-vector classification against the TCP/ICMP floods closed *so
+//! far*; a later common-protocol close can upgrade that verdict, which
+//! surfaces as `Reclassified`.
+
+use quicsand_net::Timestamp;
+use quicsand_sessions::dos::{Attack, AttackProtocol};
+use quicsand_sessions::multivector::MultiVectorClass;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A captured packet retained as evidence for an alert (the tail of the
+/// flood's backscatter, bounded by
+/// [`LiveConfig::evidence_capacity`](crate::LiveConfig::evidence_capacity)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvidencePacket {
+    /// Capture time.
+    pub ts: Timestamp,
+    /// Telescope address the packet hit.
+    pub dst: Ipv4Addr,
+    /// Wire size in bytes.
+    pub bytes: u64,
+}
+
+/// What happened to an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LiveEventKind {
+    /// The victim's open session first crossed the base thresholds.
+    Opened,
+    /// The session crossed the escalation tier (base thresholds scaled
+    /// by the escalation weight, Appendix-B style).
+    Escalated,
+    /// The session went idle past the timeout (or the stream ended, or
+    /// the victim was evicted under memory pressure): the final attack
+    /// record is attached.
+    Closed,
+    /// A TCP/ICMP flood closing later changed an already-closed QUIC
+    /// alert's multi-vector verdict (e.g. Isolated → Concurrent).
+    Reclassified,
+}
+
+impl LiveEventKind {
+    /// Stable label used in text output.
+    pub fn label(self) -> &'static str {
+        match self {
+            LiveEventKind::Opened => "OPEN",
+            LiveEventKind::Escalated => "ESCALATE",
+            LiveEventKind::Closed => "CLOSE",
+            LiveEventKind::Reclassified => "RECLASSIFY",
+        }
+    }
+}
+
+/// One alert lifecycle event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveEvent {
+    /// Event time (the packet that triggered the transition for
+    /// `Opened`/`Escalated`; the session's last packet for `Closed`).
+    pub at: Timestamp,
+    /// Which detection channel the alert belongs to.
+    pub protocol: AttackProtocol,
+    /// The flood victim (the backscatter source).
+    pub victim: Ipv4Addr,
+    /// The lifecycle transition.
+    pub kind: LiveEventKind,
+    /// The attack record (`Closed` and `Reclassified` only).
+    pub attack: Option<Attack>,
+    /// Multi-vector verdict (QUIC `Closed`/`Reclassified` only).
+    pub class: Option<MultiVectorClass>,
+    /// Overlap share for concurrent verdicts (Fig. 12 semantics).
+    pub overlap_share: Option<f64>,
+    /// Gap to the nearest common flood for sequential verdicts, in
+    /// seconds (Fig. 13 semantics).
+    pub gap_secs: Option<f64>,
+    /// Whether this `Closed` was forced by the per-channel victim cap
+    /// rather than by idleness — the attack record may be truncated.
+    pub evicted: bool,
+    /// Retained evidence packets, oldest first (`Closed` only).
+    pub evidence: Vec<EvidencePacket>,
+}
+
+impl LiveEvent {
+    /// One-line human-readable rendering (the `--alert-format text`
+    /// output).
+    pub fn render_text(&self) -> String {
+        let mut line = format!(
+            "[{:>12.3}] {:<10} {:<8} victim={}",
+            self.at.as_secs_f64(),
+            self.kind.label(),
+            self.protocol.label(),
+            self.victim
+        );
+        if let Some(attack) = &self.attack {
+            line.push_str(&format!(
+                " packets={} dur={}s max_pps={:.2}",
+                attack.packet_count,
+                attack.duration().as_secs(),
+                attack.max_pps
+            ));
+        }
+        if let Some(class) = self.class {
+            line.push_str(&format!(" class={}", class.label()));
+        }
+        if let Some(share) = self.overlap_share {
+            line.push_str(&format!(" share={share:.2}"));
+        }
+        if let Some(gap) = self.gap_secs {
+            line.push_str(&format!(" gap={gap:.0}s"));
+        }
+        if self.evicted {
+            line.push_str(" evicted");
+        }
+        if !self.evidence.is_empty() {
+            line.push_str(&format!(" evidence={}", self.evidence.len()));
+        }
+        line
+    }
+
+    /// JSON rendering (the `--alert-format json` output), one object
+    /// per line.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string(self).expect("LiveEvent serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> LiveEvent {
+        LiveEvent {
+            at: Timestamp::from_secs(120),
+            protocol: AttackProtocol::Quic,
+            victim: Ipv4Addr::new(203, 0, 113, 9),
+            kind: LiveEventKind::Closed,
+            attack: Some(Attack {
+                victim: Ipv4Addr::new(203, 0, 113, 9),
+                protocol: AttackProtocol::Quic,
+                start: Timestamp::from_secs(0),
+                end: Timestamp::from_secs(120),
+                packet_count: 480,
+                max_pps: 4.0,
+            }),
+            class: Some(MultiVectorClass::Concurrent),
+            overlap_share: Some(0.95),
+            gap_secs: None,
+            evicted: false,
+            evidence: vec![EvidencePacket {
+                ts: Timestamp::from_secs(119),
+                dst: Ipv4Addr::new(10, 0, 0, 1),
+                bytes: 60,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_rendering_mentions_the_essentials() {
+        let text = event().render_text();
+        assert!(text.contains("CLOSE"), "{text}");
+        assert!(text.contains("victim=203.0.113.9"), "{text}");
+        assert!(text.contains("packets=480"), "{text}");
+        assert!(text.contains("class=concurrent"), "{text}");
+        assert!(text.contains("share=0.95"), "{text}");
+        assert!(text.contains("evidence=1"), "{text}");
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let original = event();
+        let json = original.render_json();
+        let back: LiveEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(LiveEventKind::Opened.label(), "OPEN");
+        assert_eq!(LiveEventKind::Escalated.label(), "ESCALATE");
+        assert_eq!(LiveEventKind::Closed.label(), "CLOSE");
+        assert_eq!(LiveEventKind::Reclassified.label(), "RECLASSIFY");
+    }
+
+    #[test]
+    fn minimal_event_renders_without_optionals() {
+        let e = LiveEvent {
+            at: Timestamp::from_secs(1),
+            protocol: AttackProtocol::TcpIcmp,
+            victim: Ipv4Addr::new(198, 51, 100, 1),
+            kind: LiveEventKind::Opened,
+            attack: None,
+            class: None,
+            overlap_share: None,
+            gap_secs: None,
+            evicted: false,
+            evidence: Vec::new(),
+        };
+        let text = e.render_text();
+        assert!(text.contains("OPEN"), "{text}");
+        assert!(!text.contains("class="), "{text}");
+    }
+}

@@ -1,0 +1,1093 @@
+//! The incremental flood detector: per-victim sliding-window state,
+//! watermark-driven expiry, alert lifecycle, and online multi-vector
+//! classification.
+//!
+//! [`LiveDetector`] mirrors the batch pipeline's semantics exactly:
+//!
+//! * session boundaries replicate `Sessionizer` (join while the
+//!   per-victim gap ≤ timeout, bounds widen for tolerated late packets,
+//!   expiry deferred by the skew tolerance, amortized idle sweep);
+//! * an alert `Opened`/`Escalated` transition fires the moment the
+//!   victim's open session crosses the (scaled) `DosThresholds` — all
+//!   three measures are monotone non-decreasing within a session, so
+//!   transitions never revert;
+//! * a `Closed` alert carries an [`Attack`] with byte-identical fields
+//!   to what batch `detect_attacks` computes for the same session.
+//!
+//! Consequently, on any finite stream the set of closed alerts equals
+//! the batch detection output — *unless* the hard per-channel victim
+//! cap ([`LiveConfig::max_victims`]) forces an LRU eviction, which may
+//! truncate that victim's session (flagged `evicted` and counted in
+//! [`LiveStats::evictions`]).
+
+use crate::alert::{EvidencePacket, LiveEvent, LiveEventKind};
+use quicsand_net::{Duration, Timestamp};
+use quicsand_sessions::dos::{Attack, AttackProtocol, DosThresholds};
+use quicsand_sessions::multivector::MultiVectorClass;
+use quicsand_sessions::session::SessionConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Live-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiveConfig {
+    /// Base alert thresholds (paper: Moore et al. defaults).
+    pub thresholds: DosThresholds,
+    /// Sessionization parameters. `skew_tolerance` must cover the
+    /// ingest guard's reorder tolerance, exactly as in the batch path.
+    pub session: SessionConfig,
+    /// Escalation tier: base thresholds scaled by this weight
+    /// (Appendix-B style). An open alert escalates when its session
+    /// crosses `thresholds.scaled(escalation_weight)`.
+    pub escalation_weight: f64,
+    /// Evidence packets retained per open alert (a ring buffer of the
+    /// most recent packets).
+    pub evidence_capacity: usize,
+    /// Hard cap on tracked victims per channel: inserting a new victim
+    /// beyond this evicts the least-recently-active one. Bounds memory
+    /// under sustained many-victim floods.
+    pub max_victims: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            thresholds: DosThresholds::moore(),
+            session: SessionConfig::default(),
+            escalation_weight: 4.0,
+            evidence_capacity: 16,
+            max_victims: 65_536,
+        }
+    }
+}
+
+/// Where a victim's alert currently stands. Monotone: transitions only
+/// ever move rightwards (Quiet → Open → Escalated), because every
+/// threshold measure is non-decreasing while the session is open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum AlertPhase {
+    /// Below the base thresholds.
+    Quiet,
+    /// Crossed the base thresholds.
+    Open,
+    /// Crossed the escalation tier.
+    Escalated,
+}
+
+/// One victim's open sliding-window state — the live analogue of the
+/// sessionizer's `OpenSession`, plus the alert phase and evidence ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VictimState {
+    start: Timestamp,
+    last: Timestamp,
+    packet_count: u64,
+    minute_counts: HashMap<u64, u64>,
+    /// Cached `max(minute_counts.values())`; counts only grow, so this
+    /// is maintainable in O(1) per packet.
+    max_minute: u64,
+    phase: AlertPhase,
+    /// Evidence ring, managed through `cursor`. Snapshots normalize it
+    /// to chronological order (see [`ChannelDetector::snapshot`]).
+    evidence: Vec<EvidencePacket>,
+    cursor: usize,
+}
+
+impl VictimState {
+    fn fresh(ts: Timestamp, capacity: usize) -> Self {
+        VictimState {
+            start: ts,
+            last: ts,
+            packet_count: 1,
+            minute_counts: HashMap::from([(ts.minute_bucket(), 1)]),
+            max_minute: 1,
+            phase: AlertPhase::Quiet,
+            evidence: Vec::with_capacity(capacity.min(64)),
+            cursor: 0,
+        }
+    }
+
+    fn max_pps(&self) -> f64 {
+        self.max_minute as f64 / 60.0
+    }
+
+    fn duration(&self) -> Duration {
+        self.last.saturating_since(self.start)
+    }
+
+    fn push_evidence(&mut self, packet: EvidencePacket, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if self.evidence.len() < capacity {
+            self.evidence.push(packet);
+        } else {
+            self.evidence[self.cursor] = packet;
+            self.cursor = (self.cursor + 1) % capacity;
+        }
+    }
+
+    /// Evidence in chronological order (unwinds the ring). While the
+    /// ring is not yet full, `cursor` is 0 and the rotation is the
+    /// identity; once full, `cursor` points at the oldest slot.
+    fn evidence_chronological(&self) -> Vec<EvidencePacket> {
+        let mut out = Vec::with_capacity(self.evidence.len());
+        out.extend_from_slice(&self.evidence[self.cursor..]);
+        out.extend_from_slice(&self.evidence[..self.cursor]);
+        out
+    }
+
+    fn as_attack(&self, victim: Ipv4Addr, protocol: AttackProtocol) -> Attack {
+        Attack {
+            victim,
+            protocol,
+            start: self.start,
+            end: self.last,
+            packet_count: self.packet_count,
+            max_pps: self.max_pps(),
+        }
+    }
+}
+
+/// Detector counters — the live analogue of `IngestStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveStats {
+    /// Packets offered to the detector (post-ingest-guard).
+    pub events_in: u64,
+    /// Alerts opened.
+    pub opened: u64,
+    /// Alerts escalated.
+    pub escalated: u64,
+    /// Alerts closed (qualifying sessions only).
+    pub closed: u64,
+    /// Reclassification events emitted.
+    pub reclassified: u64,
+    /// Victims evicted under the memory cap.
+    pub evictions: u64,
+    /// High-water mark of simultaneously tracked victims — the
+    /// quantity [`LiveConfig::max_victims`] bounds.
+    pub peak_tracked: usize,
+}
+
+impl LiveStats {
+    /// Field-wise sum (peaks sum too: the result is an upper bound on
+    /// simultaneously held state across shards/channels).
+    pub fn merge(&mut self, other: &LiveStats) {
+        self.events_in += other.events_in;
+        self.opened += other.opened;
+        self.escalated += other.escalated;
+        self.closed += other.closed;
+        self.reclassified += other.reclassified;
+        self.evictions += other.evictions;
+        self.peak_tracked += other.peak_tracked;
+    }
+}
+
+/// A closed qualifying session, before classification.
+struct ClosedAlert {
+    attack: Attack,
+    evidence: Vec<EvidencePacket>,
+    evicted: bool,
+}
+
+/// What one channel emits for one offered packet (or sweep).
+enum ChannelEvent {
+    Opened { at: Timestamp, victim: Ipv4Addr },
+    Escalated { at: Timestamp, victim: Ipv4Addr },
+    Closed(ClosedAlert),
+}
+
+/// One victim's state in a [`ChannelSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VictimEntry {
+    src: Ipv4Addr,
+    state: VictimState,
+}
+
+/// Serializable checkpoint of one channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ChannelSnapshot {
+    watermark: Timestamp,
+    last_sweep: Timestamp,
+    stats: LiveStats,
+    /// Open victims sorted by address; evidence rings normalized to
+    /// chronological order so identical logical state always
+    /// serializes identically.
+    states: Vec<VictimEntry>,
+}
+
+/// One detection channel (QUIC responses, or the TCP/ICMP baseline):
+/// per-victim sliding windows + LRU index + watermark machinery.
+#[derive(Debug)]
+struct ChannelDetector {
+    protocol: AttackProtocol,
+    thresholds: DosThresholds,
+    escalation: DosThresholds,
+    session: SessionConfig,
+    evidence_capacity: usize,
+    max_victims: usize,
+    states: HashMap<Ipv4Addr, VictimState>,
+    /// Last-activity index `(last, victim)`, kept in lockstep with
+    /// `states`: drives both O(log n) idle expiry and LRU eviction,
+    /// with the victim address as deterministic tie-break.
+    lru: BTreeSet<(Timestamp, Ipv4Addr)>,
+    watermark: Timestamp,
+    last_sweep: Timestamp,
+    stats: LiveStats,
+}
+
+impl ChannelDetector {
+    fn new(protocol: AttackProtocol, config: &LiveConfig) -> Self {
+        ChannelDetector {
+            protocol,
+            thresholds: config.thresholds,
+            escalation: config.thresholds.scaled(config.escalation_weight),
+            session: config.session,
+            evidence_capacity: config.evidence_capacity,
+            max_victims: config.max_victims.max(1),
+            states: HashMap::new(),
+            lru: BTreeSet::new(),
+            watermark: Timestamp::EPOCH,
+            last_sweep: Timestamp::EPOCH,
+            stats: LiveStats::default(),
+        }
+    }
+
+    /// Offers one packet attributed to `victim`. Emits sweep-driven
+    /// closes first (deterministic `(start, victim)` order), then this
+    /// packet's own transition, mirroring `Sessionizer::offer`.
+    fn offer(
+        &mut self,
+        ts: Timestamp,
+        victim: Ipv4Addr,
+        dst: Ipv4Addr,
+        bytes: u64,
+        out: &mut Vec<ChannelEvent>,
+    ) {
+        self.stats.events_in += 1;
+        if ts > self.watermark {
+            self.watermark = ts;
+        }
+        // Amortized idle sweep, same trigger as the batch sessionizer.
+        if self.watermark.saturating_since(self.last_sweep) > self.session.timeout {
+            self.expire(self.watermark, out);
+        }
+        let evidence = EvidencePacket { ts, dst, bytes };
+        match self.states.get_mut(&victim) {
+            Some(state) if ts.saturating_since(state.last) <= self.session.timeout => {
+                // Joins the open session: bounds only widen (late
+                // packets saturate to a zero gap, as in the batch path).
+                self.lru.remove(&(state.last, victim));
+                if ts > state.last {
+                    state.last = ts;
+                }
+                if ts < state.start {
+                    state.start = ts;
+                }
+                state.packet_count += 1;
+                let slot = state.minute_counts.entry(ts.minute_bucket()).or_default();
+                *slot += 1;
+                if *slot > state.max_minute {
+                    state.max_minute = *slot;
+                }
+                state.push_evidence(evidence, self.evidence_capacity);
+                self.lru.insert((state.last, victim));
+                self.transition(ts, victim, out);
+            }
+            Some(_) => {
+                // Gap exceeded: close the old session, start fresh.
+                let state = self.states.remove(&victim).expect("state present");
+                self.lru.remove(&(state.last, victim));
+                self.close_state(victim, state, false, out);
+                self.insert_fresh(ts, victim, evidence, out);
+            }
+            None => {
+                self.insert_fresh(ts, victim, evidence, out);
+            }
+        }
+    }
+
+    fn insert_fresh(
+        &mut self,
+        ts: Timestamp,
+        victim: Ipv4Addr,
+        evidence: EvidencePacket,
+        out: &mut Vec<ChannelEvent>,
+    ) {
+        // Hard memory cap: evict the least-recently-active victim. Its
+        // session is force-closed *now*; if the victim speaks again a
+        // new session starts, so the boundaries may differ from batch —
+        // the one documented divergence, flagged on the event.
+        while self.states.len() >= self.max_victims {
+            let entry = *self.lru.iter().next().expect("lru tracks states");
+            self.lru.remove(&entry);
+            let (_, evictee) = entry;
+            let state = self.states.remove(&evictee).expect("evictee tracked");
+            self.stats.evictions += 1;
+            self.close_state(evictee, state, true, out);
+        }
+        let mut state = VictimState::fresh(ts, self.evidence_capacity);
+        state.push_evidence(evidence, self.evidence_capacity);
+        self.lru.insert((ts, victim));
+        self.states.insert(victim, state);
+        if self.states.len() > self.stats.peak_tracked {
+            self.stats.peak_tracked = self.states.len();
+        }
+        self.transition(ts, victim, out);
+    }
+
+    /// Advances the victim's alert phase as far as the thresholds
+    /// allow, emitting one event per transition. Monotone measures ⇒
+    /// no reverse transitions, ever.
+    fn transition(&mut self, at: Timestamp, victim: Ipv4Addr, out: &mut Vec<ChannelEvent>) {
+        let state = self.states.get_mut(&victim).expect("victim tracked");
+        if state.phase == AlertPhase::Quiet
+            && self.thresholds.matches_measures(
+                state.packet_count,
+                state.duration(),
+                state.max_pps(),
+            )
+        {
+            state.phase = AlertPhase::Open;
+            self.stats.opened += 1;
+            out.push(ChannelEvent::Opened { at, victim });
+        }
+        if state.phase == AlertPhase::Open
+            && self.escalation.matches_measures(
+                state.packet_count,
+                state.duration(),
+                state.max_pps(),
+            )
+        {
+            state.phase = AlertPhase::Escalated;
+            self.stats.escalated += 1;
+            out.push(ChannelEvent::Escalated { at, victim });
+        }
+    }
+
+    /// Closes a removed state: qualifying sessions become `Closed`
+    /// alerts, quiet ones vanish (exactly the sessions batch
+    /// `detect_attacks` would filter out).
+    fn close_state(
+        &mut self,
+        victim: Ipv4Addr,
+        state: VictimState,
+        evicted: bool,
+        out: &mut Vec<ChannelEvent>,
+    ) {
+        if state.phase == AlertPhase::Quiet {
+            return;
+        }
+        self.stats.closed += 1;
+        out.push(ChannelEvent::Closed(ClosedAlert {
+            attack: state.as_attack(victim, self.protocol),
+            evidence: state.evidence_chronological(),
+            evicted,
+        }));
+    }
+
+    /// Expires every victim idle past `timeout + skew_tolerance` as of
+    /// `now`, in deterministic `(start, victim)` order — the exact
+    /// horizon and ordering of `Sessionizer::expire`. The LRU index
+    /// makes collection O(expired · log n) instead of a full scan.
+    fn expire(&mut self, now: Timestamp, out: &mut Vec<ChannelEvent>) {
+        let horizon = self.session.timeout.as_micros() + self.session.skew_tolerance.as_micros();
+        let expired: Vec<Ipv4Addr> = self
+            .lru
+            .iter()
+            .take_while(|(last, _)| now.saturating_since(*last).as_micros() > horizon)
+            .map(|(_, victim)| *victim)
+            .collect();
+        self.last_sweep = now;
+        if expired.is_empty() {
+            return;
+        }
+        let mut ordered: Vec<(Timestamp, Ipv4Addr)> = expired
+            .iter()
+            .map(|victim| (self.states[victim].start, *victim))
+            .collect();
+        ordered.sort_unstable();
+        for (_, victim) in ordered {
+            let state = self.states.remove(&victim).expect("expired victim open");
+            self.lru.remove(&(state.last, victim));
+            self.close_state(victim, state, false, out);
+        }
+    }
+
+    /// Closes every remaining victim in `(start, victim)` order — the
+    /// end-of-stream flush, mirroring `Sessionizer::finish`.
+    fn flush(&mut self, out: &mut Vec<ChannelEvent>) {
+        let mut remaining: Vec<(Timestamp, Ipv4Addr)> = self
+            .states
+            .iter()
+            .map(|(victim, state)| (state.start, *victim))
+            .collect();
+        remaining.sort_unstable();
+        for (_, victim) in remaining {
+            let state = self.states.remove(&victim).expect("victim open");
+            self.lru.remove(&(state.last, victim));
+            self.close_state(victim, state, false, out);
+        }
+    }
+
+    fn snapshot(&self) -> ChannelSnapshot {
+        let mut states: Vec<VictimEntry> = self
+            .states
+            .iter()
+            .map(|(src, state)| {
+                // Normalize the evidence ring to chronological order
+                // with cursor 0 (the oldest slot), so identical logical
+                // state snapshots identically regardless of history,
+                // and future overwrites keep hitting the oldest entry.
+                let mut state = state.clone();
+                state.evidence = state.evidence_chronological();
+                state.cursor = 0;
+                VictimEntry { src: *src, state }
+            })
+            .collect();
+        states.sort_by_key(|entry| entry.src);
+        ChannelSnapshot {
+            watermark: self.watermark,
+            last_sweep: self.last_sweep,
+            stats: self.stats,
+            states,
+        }
+    }
+
+    fn restore(protocol: AttackProtocol, config: &LiveConfig, snapshot: &ChannelSnapshot) -> Self {
+        let mut channel = ChannelDetector::new(protocol, config);
+        channel.watermark = snapshot.watermark;
+        channel.last_sweep = snapshot.last_sweep;
+        channel.stats = snapshot.stats;
+        for entry in &snapshot.states {
+            channel.lru.insert((entry.state.last, entry.src));
+            channel.states.insert(entry.src, entry.state.clone());
+        }
+        channel
+    }
+
+    fn tracked(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// A closed QUIC attack with its current multi-vector verdict.
+///
+/// The verdict is *live*: it reflects the common-protocol floods closed
+/// so far and can only strengthen (`Isolated` → `Sequential` →
+/// `Concurrent`; overlap share grows; gap shrinks) as more commons
+/// close. After the stream ends it equals the batch
+/// `classify_multivector` result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedAttack {
+    /// The attack record (identical to batch `detect_attacks` output).
+    pub attack: Attack,
+    /// Best overlap with any common flood on this victim so far.
+    best_overlap: Duration,
+    /// Smallest gap to any common flood on this victim so far (`None`
+    /// while the victim has no common floods — Isolated).
+    min_gap: Option<Duration>,
+}
+
+impl ClassifiedAttack {
+    fn new(attack: Attack) -> Self {
+        ClassifiedAttack {
+            attack,
+            best_overlap: Duration::ZERO,
+            min_gap: None,
+        }
+    }
+
+    /// Folds one more common flood into the verdict. Returns `true`
+    /// when the derived classification changed.
+    fn absorb(&mut self, common: &Attack) -> bool {
+        let before = self.verdict();
+        let overlap = self.attack.overlap_with(common);
+        if overlap > self.best_overlap {
+            self.best_overlap = overlap;
+        }
+        let gap = self.attack.gap_to(common);
+        let closer = match self.min_gap {
+            Some(existing) => gap < existing,
+            None => true,
+        };
+        if closer {
+            self.min_gap = Some(gap);
+        }
+        self.verdict() != before
+    }
+
+    /// The derived `(class, overlap_share, gap)` triple — exactly the
+    /// arithmetic of batch `classify_multivector` (§5.2 / Appendix C).
+    pub fn verdict(&self) -> (MultiVectorClass, Option<f64>, Option<Duration>) {
+        if self.best_overlap >= Duration::from_secs(1) {
+            let quic_duration = self.attack.duration().as_secs_f64().max(1.0);
+            let share = (self.best_overlap.as_secs_f64() / quic_duration).min(1.0);
+            (MultiVectorClass::Concurrent, Some(share), None)
+        } else if let Some(gap) = self.min_gap {
+            (MultiVectorClass::Sequential, None, Some(gap))
+        } else {
+            (MultiVectorClass::Isolated, None, None)
+        }
+    }
+
+    /// The current class.
+    pub fn class(&self) -> MultiVectorClass {
+        self.verdict().0
+    }
+}
+
+/// Serializable checkpoint of a whole detector (both channels plus the
+/// correlation state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSnapshot {
+    quic: ChannelSnapshot,
+    common: ChannelSnapshot,
+    closed_quic: Vec<ClassifiedAttack>,
+    closed_common: Vec<Attack>,
+    reclassified: u64,
+}
+
+/// The streaming flood detector: a QUIC-response channel and a
+/// TCP/ICMP baseline channel, correlated per victim as alerts close.
+#[derive(Debug)]
+pub struct LiveDetector {
+    config: LiveConfig,
+    quic: ChannelDetector,
+    common: ChannelDetector,
+    /// Closed QUIC attacks with live verdicts, in close order.
+    closed_quic: Vec<ClassifiedAttack>,
+    /// Closed common attacks, in close order.
+    closed_common: Vec<Attack>,
+    /// Victim → indices into `closed_quic` (for reclassification).
+    quic_index: HashMap<Ipv4Addr, Vec<usize>>,
+    /// Victim → indices into `closed_common` (for classify-at-close).
+    common_index: HashMap<Ipv4Addr, Vec<usize>>,
+    reclassified: u64,
+}
+
+impl LiveDetector {
+    /// Creates a detector.
+    pub fn new(config: LiveConfig) -> Self {
+        LiveDetector {
+            quic: ChannelDetector::new(AttackProtocol::Quic, &config),
+            common: ChannelDetector::new(AttackProtocol::TcpIcmp, &config),
+            config,
+            closed_quic: Vec::new(),
+            closed_common: Vec::new(),
+            quic_index: HashMap::new(),
+            common_index: HashMap::new(),
+            reclassified: 0,
+        }
+    }
+
+    /// Offers one QUIC *response* packet (backscatter: `victim` is the
+    /// packet's source). Returns the lifecycle events it triggered.
+    pub fn offer_response(
+        &mut self,
+        ts: Timestamp,
+        victim: Ipv4Addr,
+        dst: Ipv4Addr,
+        bytes: u64,
+    ) -> Vec<LiveEvent> {
+        let mut raw = Vec::new();
+        self.quic.offer(ts, victim, dst, bytes, &mut raw);
+        self.settle(raw, AttackProtocol::Quic)
+    }
+
+    /// Offers one TCP/ICMP baseline packet.
+    pub fn offer_baseline(
+        &mut self,
+        ts: Timestamp,
+        victim: Ipv4Addr,
+        dst: Ipv4Addr,
+        bytes: u64,
+    ) -> Vec<LiveEvent> {
+        let mut raw = Vec::new();
+        self.common.offer(ts, victim, dst, bytes, &mut raw);
+        self.settle(raw, AttackProtocol::TcpIcmp)
+    }
+
+    /// Flushes both channels at end of stream. Commons close first so
+    /// QUIC alerts closing in the same flush already see them — the
+    /// final verdicts equal batch `classify_multivector` either way,
+    /// this ordering just minimizes trailing `Reclassified` noise.
+    pub fn finish(&mut self) -> Vec<LiveEvent> {
+        let mut events = Vec::new();
+        let mut raw = Vec::new();
+        self.common.flush(&mut raw);
+        events.extend(self.settle(raw, AttackProtocol::TcpIcmp));
+        let mut raw = Vec::new();
+        self.quic.flush(&mut raw);
+        events.extend(self.settle(raw, AttackProtocol::Quic));
+        events
+    }
+
+    /// Turns raw channel events into lifecycle events, running the
+    /// correlation bookkeeping for every close.
+    fn settle(&mut self, raw: Vec<ChannelEvent>, protocol: AttackProtocol) -> Vec<LiveEvent> {
+        let mut events = Vec::new();
+        for event in raw {
+            match event {
+                ChannelEvent::Opened { at, victim } => {
+                    events.push(plain_event(at, protocol, victim, LiveEventKind::Opened));
+                }
+                ChannelEvent::Escalated { at, victim } => {
+                    events.push(plain_event(at, protocol, victim, LiveEventKind::Escalated));
+                }
+                ChannelEvent::Closed(alert) => match protocol {
+                    AttackProtocol::Quic => events.push(self.close_quic(alert)),
+                    AttackProtocol::TcpIcmp => {
+                        events.extend(self.close_common(alert));
+                    }
+                },
+            }
+        }
+        events
+    }
+
+    /// A QUIC alert closes: classify it against the common floods
+    /// closed so far and record it for future reclassification.
+    fn close_quic(&mut self, alert: ClosedAlert) -> LiveEvent {
+        let victim = alert.attack.victim;
+        let mut classified = ClassifiedAttack::new(alert.attack.clone());
+        if let Some(indices) = self.common_index.get(&victim) {
+            for &i in indices {
+                classified.absorb(&self.closed_common[i]);
+            }
+        }
+        let (class, share, gap) = classified.verdict();
+        self.quic_index
+            .entry(victim)
+            .or_default()
+            .push(self.closed_quic.len());
+        self.closed_quic.push(classified);
+        LiveEvent {
+            at: alert.attack.end,
+            protocol: AttackProtocol::Quic,
+            victim,
+            kind: LiveEventKind::Closed,
+            attack: Some(alert.attack),
+            class: Some(class),
+            overlap_share: share,
+            gap_secs: gap.map(|g| g.as_secs_f64()),
+            evicted: alert.evicted,
+            evidence: alert.evidence,
+        }
+    }
+
+    /// A common alert closes: emit its own `Closed`, then re-examine
+    /// every already-closed QUIC alert on the same victim — verdicts
+    /// that change surface as `Reclassified` (Fig. 8 kept current).
+    fn close_common(&mut self, alert: ClosedAlert) -> Vec<LiveEvent> {
+        let victim = alert.attack.victim;
+        let mut events = vec![LiveEvent {
+            at: alert.attack.end,
+            protocol: AttackProtocol::TcpIcmp,
+            victim,
+            kind: LiveEventKind::Closed,
+            attack: Some(alert.attack.clone()),
+            class: None,
+            overlap_share: None,
+            gap_secs: None,
+            evicted: alert.evicted,
+            evidence: alert.evidence,
+        }];
+        self.common_index
+            .entry(victim)
+            .or_default()
+            .push(self.closed_common.len());
+        self.closed_common.push(alert.attack.clone());
+        if let Some(indices) = self.quic_index.get(&victim).cloned() {
+            for i in indices {
+                let changed = self.closed_quic[i].absorb(&alert.attack);
+                if changed {
+                    self.reclassified += 1;
+                    let (class, share, gap) = self.closed_quic[i].verdict();
+                    events.push(LiveEvent {
+                        at: alert.attack.end,
+                        protocol: AttackProtocol::Quic,
+                        victim,
+                        kind: LiveEventKind::Reclassified,
+                        attack: Some(self.closed_quic[i].attack.clone()),
+                        class: Some(class),
+                        overlap_share: share,
+                        gap_secs: gap.map(|g| g.as_secs_f64()),
+                        evicted: false,
+                        evidence: Vec::new(),
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// Closed QUIC attacks with their current verdicts, in close order.
+    pub fn closed_quic(&self) -> &[ClassifiedAttack] {
+        &self.closed_quic
+    }
+
+    /// Closed common attacks, in close order.
+    pub fn closed_common(&self) -> &[Attack] {
+        &self.closed_common
+    }
+
+    /// Aggregated counters across both channels.
+    pub fn stats(&self) -> LiveStats {
+        let mut stats = self.quic.stats;
+        stats.merge(&self.common.stats);
+        stats.reclassified = self.reclassified;
+        stats
+    }
+
+    /// Victims currently tracked across both channels.
+    pub fn tracked(&self) -> usize {
+        self.quic.tracked() + self.common.tracked()
+    }
+
+    /// Serializable checkpoint. Restoring it yields a detector that
+    /// emits the exact same events for the rest of the stream as this
+    /// one would.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot {
+            quic: self.quic.snapshot(),
+            common: self.common.snapshot(),
+            closed_quic: self.closed_quic.clone(),
+            closed_common: self.closed_common.clone(),
+            reclassified: self.reclassified,
+        }
+    }
+
+    /// Rebuilds a detector from a checkpoint (indices and LRU sets are
+    /// derived state and are reconstructed, not serialized).
+    pub fn restore(config: LiveConfig, snapshot: &DetectorSnapshot) -> Self {
+        let mut quic_index: HashMap<Ipv4Addr, Vec<usize>> = HashMap::new();
+        for (i, classified) in snapshot.closed_quic.iter().enumerate() {
+            quic_index
+                .entry(classified.attack.victim)
+                .or_default()
+                .push(i);
+        }
+        let mut common_index: HashMap<Ipv4Addr, Vec<usize>> = HashMap::new();
+        for (i, attack) in snapshot.closed_common.iter().enumerate() {
+            common_index.entry(attack.victim).or_default().push(i);
+        }
+        LiveDetector {
+            quic: ChannelDetector::restore(AttackProtocol::Quic, &config, &snapshot.quic),
+            common: ChannelDetector::restore(AttackProtocol::TcpIcmp, &config, &snapshot.common),
+            config,
+            closed_quic: snapshot.closed_quic.clone(),
+            closed_common: snapshot.closed_common.clone(),
+            quic_index,
+            common_index,
+            reclassified: snapshot.reclassified,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+}
+
+fn plain_event(
+    at: Timestamp,
+    protocol: AttackProtocol,
+    victim: Ipv4Addr,
+    kind: LiveEventKind,
+) -> LiveEvent {
+    LiveEvent {
+        at,
+        protocol,
+        victim,
+        kind,
+        attack: None,
+        class: None,
+        overlap_share: None,
+        gap_secs: None,
+        evicted: false,
+        evidence: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, last)
+    }
+
+    fn dst() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+
+    fn config() -> LiveConfig {
+        LiveConfig::default()
+    }
+
+    /// Feeds a 2-pps flood for `secs` seconds starting at `start_secs`.
+    fn flood(
+        detector: &mut LiveDetector,
+        victim: Ipv4Addr,
+        start_secs: u64,
+        secs: u64,
+    ) -> Vec<LiveEvent> {
+        let mut events = Vec::new();
+        for i in 0..(secs * 2) {
+            let ts = Timestamp::from_micros(start_secs * 1_000_000 + i * 500_000);
+            events.extend(detector.offer_response(ts, victim, dst(), 60));
+        }
+        events
+    }
+
+    #[test]
+    fn lifecycle_opens_then_closes_with_attack() {
+        let mut d = LiveDetector::new(config());
+        let events = flood(&mut d, ip(1), 0, 120);
+        let opened: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Opened)
+            .collect();
+        assert_eq!(opened.len(), 1, "exactly one open: {events:?}");
+        assert_eq!(opened[0].victim, ip(1));
+
+        let events = d.finish();
+        let closed: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Closed)
+            .collect();
+        assert_eq!(closed.len(), 1);
+        let attack = closed[0].attack.as_ref().unwrap();
+        assert_eq!(attack.victim, ip(1));
+        assert_eq!(attack.packet_count, 240);
+        assert!(attack.max_pps > 0.5);
+        assert_eq!(closed[0].class, Some(MultiVectorClass::Isolated));
+        assert!(!closed[0].evidence.is_empty());
+        assert!(closed[0].evidence.len() <= config().evidence_capacity);
+    }
+
+    #[test]
+    fn sub_threshold_victim_never_alerts() {
+        let mut d = LiveDetector::new(config());
+        // 10 packets over 20 s: under every Moore threshold.
+        for i in 0..10u64 {
+            let events = d.offer_response(Timestamp::from_secs(i * 2), ip(2), dst(), 60);
+            assert!(events.is_empty(), "unexpected events: {events:?}");
+        }
+        assert!(d.finish().is_empty());
+        assert_eq!(d.stats().opened, 0);
+        assert_eq!(d.stats().closed, 0);
+    }
+
+    #[test]
+    fn alert_never_reverts_open() {
+        // Monotonicity: after Opened, no later packet may produce a
+        // second Opened for the same session.
+        let mut d = LiveDetector::new(config());
+        let events = flood(&mut d, ip(3), 0, 600);
+        let opens = events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Opened)
+            .count();
+        assert_eq!(opens, 1);
+    }
+
+    #[test]
+    fn escalation_fires_at_scaled_thresholds() {
+        let mut d = LiveDetector::new(LiveConfig {
+            escalation_weight: 2.0,
+            ..config()
+        });
+        // 2 pps for 10 minutes: packets=1200 > 50, duration 600 s >
+        // 120 s, max_pps 2.0 > 1.0 — crosses the 2× tier.
+        let events = flood(&mut d, ip(4), 0, 600);
+        let escalated = events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Escalated)
+            .count();
+        assert_eq!(escalated, 1);
+        assert_eq!(d.stats().escalated, 1);
+    }
+
+    #[test]
+    fn idle_timeout_closes_via_watermark_without_more_victim_packets() {
+        let mut d = LiveDetector::new(config());
+        let mut events = flood(&mut d, ip(5), 0, 120);
+        // Another victim's traffic far in the future advances the
+        // watermark and sweeps the idle flood out.
+        events.extend(d.offer_response(Timestamp::from_secs(10_000), ip(6), dst(), 60));
+        let closed: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Closed)
+            .collect();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].victim, ip(5));
+        // The close carries the session's real end, not the sweep time.
+        assert!(closed[0].attack.as_ref().unwrap().end < Timestamp::from_secs(200));
+    }
+
+    #[test]
+    fn concurrent_classification_when_common_closed_first() {
+        let mut d = LiveDetector::new(config());
+        // Common flood 0..600 s; close it by advancing the common
+        // watermark far ahead.
+        for i in 0..(600 * 2) {
+            d.offer_baseline(Timestamp::from_micros(i * 500_000), ip(7), dst(), 60);
+        }
+        d.offer_baseline(Timestamp::from_secs(50_000), ip(99), dst(), 60);
+        assert_eq!(d.closed_common().len(), 1);
+        // QUIC flood 100..220 s (fully inside the common window), fed
+        // afterwards — event time, not arrival time, drives overlap.
+        flood(&mut d, ip(7), 100, 120);
+        let events = d.finish();
+        let quic_close = events
+            .iter()
+            .find(|e| e.protocol == AttackProtocol::Quic && e.kind == LiveEventKind::Closed)
+            .expect("quic close");
+        assert_eq!(quic_close.class, Some(MultiVectorClass::Concurrent));
+        assert!((quic_close.overlap_share.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reclassified_when_common_closes_after_quic() {
+        let mut d = LiveDetector::new(config());
+        // QUIC flood closes first (watermark push), classified Isolated.
+        flood(&mut d, ip(8), 0, 120);
+        let events = d.offer_response(Timestamp::from_secs(20_000), ip(200), dst(), 60);
+        let quic_close = events
+            .iter()
+            .find(|e| e.kind == LiveEventKind::Closed)
+            .expect("quic close");
+        assert_eq!(quic_close.class, Some(MultiVectorClass::Isolated));
+        // Now a common flood on the same victim, overlapping 0..120 s.
+        for i in 0..(300 * 2) {
+            d.offer_baseline(Timestamp::from_micros(i * 500_000), ip(8), dst(), 60);
+        }
+        let events = d.finish();
+        let reclass: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Reclassified)
+            .collect();
+        assert_eq!(reclass.len(), 1, "events: {events:?}");
+        assert_eq!(reclass[0].victim, ip(8));
+        assert_eq!(reclass[0].class, Some(MultiVectorClass::Concurrent));
+        assert_eq!(d.stats().reclassified, 1);
+        assert_eq!(d.closed_quic()[0].class(), MultiVectorClass::Concurrent);
+    }
+
+    #[test]
+    fn memory_cap_evicts_lru_and_counts_it() {
+        let mut d = LiveDetector::new(LiveConfig {
+            max_victims: 4,
+            ..config()
+        });
+        // 50 victims, one packet each, in time order: every insert
+        // beyond the 4th evicts the least-recently-active victim.
+        for i in 0..50u64 {
+            d.offer_response(Timestamp::from_secs(i), ip((i % 200) as u8), dst(), 60);
+        }
+        assert!(d.tracked() <= 4);
+        let stats = d.stats();
+        assert!(stats.peak_tracked <= 4, "peak {}", stats.peak_tracked);
+        assert_eq!(stats.evictions, 46);
+        // Quiet evictees close silently: no alerts ever opened.
+        assert_eq!(stats.opened, 0);
+    }
+
+    #[test]
+    fn evicted_qualifying_alert_is_flagged() {
+        let mut d = LiveDetector::new(LiveConfig {
+            max_victims: 1,
+            ..config()
+        });
+        let mut events = flood(&mut d, ip(9), 0, 120);
+        // A new victim forces the qualifying flood out under the cap.
+        events.extend(d.offer_response(Timestamp::from_secs(130), ip(10), dst(), 60));
+        let closed: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Closed)
+            .collect();
+        assert_eq!(closed.len(), 1);
+        assert!(closed[0].evicted);
+        assert_eq!(d.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evidence_ring_keeps_most_recent_packets_in_order() {
+        let mut d = LiveDetector::new(LiveConfig {
+            evidence_capacity: 4,
+            ..config()
+        });
+        flood(&mut d, ip(11), 0, 120);
+        let events = d.finish();
+        let closed = events
+            .iter()
+            .find(|e| e.kind == LiveEventKind::Closed)
+            .unwrap();
+        assert_eq!(closed.evidence.len(), 4);
+        // Chronological, and the *latest* packets of the flood.
+        for w in closed.evidence.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        assert_eq!(
+            closed.evidence.last().unwrap().ts,
+            closed.attack.as_ref().unwrap().end
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let build = |split: bool| -> (Vec<LiveEvent>, LiveDetector) {
+            let mut d = LiveDetector::new(config());
+            let mut events = flood(&mut d, ip(12), 0, 90);
+            if split {
+                let snapshot = d.snapshot();
+                let json = serde_json::to_string(&snapshot).unwrap();
+                let back: DetectorSnapshot = serde_json::from_str(&json).unwrap();
+                assert_eq!(back, snapshot, "snapshot JSON roundtrip");
+                d = LiveDetector::restore(config(), &back);
+            }
+            events.extend(flood(&mut d, ip(12), 90, 90));
+            for i in 0..(60 * 2) {
+                events.extend(d.offer_baseline(
+                    Timestamp::from_micros(100 * 1_000_000 + i * 500_000),
+                    ip(12),
+                    dst(),
+                    60,
+                ));
+            }
+            let finish = d.finish();
+            events.extend(finish);
+            (events, d)
+        };
+        let (straight_events, straight) = build(false);
+        let (resumed_events, resumed) = build(true);
+        assert_eq!(resumed_events, straight_events);
+        assert_eq!(resumed.closed_quic(), straight.closed_quic());
+        assert_eq!(resumed.closed_common(), straight.closed_common());
+        assert_eq!(resumed.stats(), straight.stats());
+    }
+
+    #[test]
+    fn stats_merge_sums_everything() {
+        let a = LiveStats {
+            events_in: 10,
+            opened: 1,
+            escalated: 1,
+            closed: 1,
+            reclassified: 0,
+            evictions: 2,
+            peak_tracked: 5,
+        };
+        let mut b = LiveStats {
+            events_in: 7,
+            peak_tracked: 3,
+            ..LiveStats::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.events_in, 17);
+        assert_eq!(b.peak_tracked, 8);
+        assert_eq!(b.evictions, 2);
+    }
+}

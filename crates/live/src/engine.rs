@@ -1,0 +1,445 @@
+//! The sharded live engine: guard/quarantine ingest feeding per-shard
+//! detectors, with deterministic event merge and checkpoint/restore.
+//!
+//! Records are partitioned by `hash(src) % N` — the same FNV sharding
+//! as the batch parallel path — so every per-source computation (the
+//! ingest guard, sessionization, threshold detection, *and* per-victim
+//! multi-vector correlation, since victim = source on both channels)
+//! sees exactly the packets it would see single-sharded. Events are
+//! tagged with the original record index and stable-merged, so the
+//! emitted event log is identical at any chunk size, and the closed
+//! alert set is identical at any shard count.
+
+use crate::alert::LiveEvent;
+use crate::detector::{ClassifiedAttack, DetectorSnapshot, LiveConfig, LiveDetector, LiveStats};
+use quicsand_dissect::Direction;
+use quicsand_net::PacketRecord;
+use quicsand_sessions::dos::Attack;
+use quicsand_telescope::parallel::partition_by_source;
+use quicsand_telescope::{
+    Admitted, GuardConfig, IngestStats, PipelineSnapshot, PipelineStats, TelescopePipeline,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// One shard's chunk output: record-index-tagged events plus the wall
+/// milliseconds its admit and detect phases took.
+type ShardChunk = (Vec<(usize, LiveEvent)>, f64, f64);
+
+/// One shard: its slice of the ingest guard plus its detector.
+#[derive(Debug)]
+struct Shard {
+    pipeline: TelescopePipeline,
+    detector: LiveDetector,
+}
+
+/// One shard's state in a [`LiveSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardSnapshot {
+    pipeline: PipelineSnapshot,
+    detector: DetectorSnapshot,
+}
+
+/// Serializable checkpoint of the whole engine. Restoring it and
+/// replaying the remaining stream yields the exact same events the
+/// original engine would have emitted (wall-clock telemetry excepted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveSnapshot {
+    /// Detector configuration in effect.
+    pub config: LiveConfig,
+    /// Ingest guard thresholds in effect.
+    pub guard: GuardConfig,
+    /// Records offered before the checkpoint.
+    pub offered: u64,
+    shards: Vec<ShardSnapshot>,
+}
+
+impl LiveSnapshot {
+    /// Shard count the checkpoint was taken at (restore keeps it).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// The streaming flood-detection engine.
+#[derive(Debug)]
+pub struct LiveEngine {
+    config: LiveConfig,
+    guard: GuardConfig,
+    shards: Vec<Shard>,
+    offered: u64,
+    stats: PipelineStats,
+}
+
+impl LiveEngine {
+    /// Creates an engine with `shards` parallel detector shards.
+    pub fn new(config: LiveConfig, guard: GuardConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut stats = PipelineStats {
+            threads: shards,
+            ..PipelineStats::default()
+        };
+        stats.records = 0;
+        LiveEngine {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    pipeline: TelescopePipeline::with_guard(guard),
+                    detector: LiveDetector::new(config),
+                })
+                .collect(),
+            config,
+            guard,
+            offered: 0,
+            stats,
+        }
+    }
+
+    /// Offers one record.
+    pub fn offer(&mut self, record: &PacketRecord) -> Vec<LiveEvent> {
+        self.offer_chunk(std::slice::from_ref(record))
+    }
+
+    /// Offers a chunk of records in capture order. Chunking is pure
+    /// batching: splitting the stream differently never changes the
+    /// emitted events, only the parallel hand-off granularity.
+    pub fn offer_chunk(&mut self, records: &[PacketRecord]) -> Vec<LiveEvent> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        self.offered += records.len() as u64;
+        self.stats.records = self.offered;
+        if self.shards.len() == 1 {
+            let (events, ingest_ms, detect_ms) = {
+                let shard = &mut self.shards[0];
+                let indices: Vec<usize> = (0..records.len()).collect();
+                shard_chunk(shard, records, &indices)
+            };
+            self.stats.ingest_ms += ingest_ms;
+            self.stats.sessionize_ms += detect_ms;
+            return events.into_iter().map(|(_, event)| event).collect();
+        }
+
+        let buckets = partition_by_source(records, self.shards.len());
+        let worker = |shard: &mut Shard, indices: &[usize]| shard_chunk(shard, records, indices);
+        let worker = &worker;
+        let results: Vec<ShardChunk> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(buckets.iter())
+                .map(|(shard, indices)| scope.spawn(move |_| worker(shard, indices)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("live shard worker panicked"))
+                .collect()
+        })
+        .expect("live scope panicked");
+
+        // Critical-path timing: the slowest shard bounds the chunk.
+        let mut chunk_ingest: f64 = 0.0;
+        let mut chunk_detect: f64 = 0.0;
+        let mut tagged: Vec<(usize, LiveEvent)> = Vec::new();
+        for (events, ingest_ms, detect_ms) in results {
+            chunk_ingest = chunk_ingest.max(ingest_ms);
+            chunk_detect = chunk_detect.max(detect_ms);
+            tagged.extend(events);
+        }
+        self.stats.ingest_ms += chunk_ingest;
+        self.stats.sessionize_ms += chunk_detect;
+        // Original record indices are unique; the stable sort keeps
+        // each record's own events in emission order.
+        tagged.sort_by_key(|(index, _)| *index);
+        tagged.into_iter().map(|(_, event)| event).collect()
+    }
+
+    /// Ends the stream: closes every open session on every shard and
+    /// returns the trailing events, merged into a deterministic
+    /// `(at, victim)` order that is independent of the shard count.
+    pub fn finish(&mut self) -> Vec<LiveEvent> {
+        let flush_start = Instant::now();
+        let mut events: Vec<LiveEvent> = Vec::new();
+        for shard in &mut self.shards {
+            events.extend(shard.detector.finish());
+        }
+        // One victim lives in exactly one shard, so ties on
+        // `(at, victim)` come from the same shard and the stable sort
+        // preserves their emission order.
+        events.sort_by_key(|e| (e.at, e.victim));
+        self.stats.detect_ms += ms(flush_start);
+        self.stats.peak_open_sessions = self.live_stats().peak_tracked;
+        events
+    }
+
+    /// Checkpoints the engine (guard state, open victims, closed-attack
+    /// sets, counters). Shard states are captured independently, so the
+    /// snapshot is only restorable at the same shard count — which
+    /// [`LiveEngine::restore`] enforces by construction.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        LiveSnapshot {
+            config: self.config,
+            guard: self.guard,
+            offered: self.offered,
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| ShardSnapshot {
+                    pipeline: shard.pipeline.snapshot(),
+                    detector: shard.detector.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint. The restored engine emits
+    /// the exact same events for the rest of the stream as the
+    /// snapshotted one would have (timing telemetry restarts at zero).
+    pub fn restore(snapshot: &LiveSnapshot) -> Self {
+        LiveEngine {
+            config: snapshot.config,
+            guard: snapshot.guard,
+            offered: snapshot.offered,
+            stats: PipelineStats {
+                threads: snapshot.shards.len(),
+                records: snapshot.offered,
+                ..PipelineStats::default()
+            },
+            shards: snapshot
+                .shards
+                .iter()
+                .map(|shard| Shard {
+                    pipeline: TelescopePipeline::restore(&shard.pipeline),
+                    detector: LiveDetector::restore(snapshot.config, &shard.detector),
+                })
+                .collect(),
+        }
+    }
+
+    /// Merged ingest counters across shards.
+    pub fn ingest_stats(&self) -> IngestStats {
+        let mut stats = IngestStats::default();
+        for shard in &self.shards {
+            stats.merge(shard.pipeline.stats());
+        }
+        stats
+    }
+
+    /// Merged detector counters across shards.
+    pub fn live_stats(&self) -> LiveStats {
+        let mut stats = LiveStats::default();
+        for shard in &self.shards {
+            stats.merge(&shard.detector.stats());
+        }
+        stats
+    }
+
+    /// Wall-clock telemetry (`--verbose` material; non-deterministic).
+    pub fn pipeline_stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Victims currently tracked across all shards and channels.
+    pub fn tracked(&self) -> usize {
+        self.shards.iter().map(|s| s.detector.tracked()).sum()
+    }
+
+    /// Records offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Closed QUIC attacks with their current verdicts, merged across
+    /// shards into deterministic `(start, victim)` order.
+    pub fn closed_quic(&self) -> Vec<ClassifiedAttack> {
+        let mut attacks: Vec<ClassifiedAttack> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.detector.closed_quic().iter().cloned())
+            .collect();
+        attacks.sort_by_key(|c| (c.attack.start, c.attack.victim));
+        attacks
+    }
+
+    /// Closed TCP/ICMP attacks, merged across shards into
+    /// deterministic `(start, victim)` order.
+    pub fn closed_common(&self) -> Vec<Attack> {
+        let mut attacks: Vec<Attack> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.detector.closed_common().iter().cloned())
+            .collect();
+        attacks.sort_by_key(|a| (a.start, a.victim));
+        attacks
+    }
+
+    /// The detector configuration in effect.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+}
+
+/// Processes one shard's slice of a chunk: admit everything through the
+/// ingest guard first (timed as ingest), then drive the detector (timed
+/// as the live "sessionize+detect" stage). The split is observational
+/// only — pipeline and detector are independent state machines, so
+/// phase order cannot change any decision.
+fn shard_chunk(shard: &mut Shard, records: &[PacketRecord], indices: &[usize]) -> ShardChunk {
+    let admit_start = Instant::now();
+    let admitted: Vec<(usize, Admitted)> = indices
+        .iter()
+        .map(|&i| (i, shard.pipeline.admit(&records[i])))
+        .collect();
+    let ingest_ms = ms(admit_start);
+
+    let detect_start = Instant::now();
+    let mut events: Vec<(usize, LiveEvent)> = Vec::new();
+    for (index, product) in admitted {
+        let emitted = match product {
+            Admitted::Quic(obs) if obs.direction == Direction::Response => {
+                // Backscatter: the response source is the flood victim.
+                let bytes = records[index].wire_size() as u64;
+                shard
+                    .detector
+                    .offer_response(obs.ts, obs.src, obs.dst, bytes)
+            }
+            // Requests are scan traffic, not flood evidence.
+            Admitted::Quic(_) => Vec::new(),
+            Admitted::Baseline(record) => {
+                let bytes = record.wire_size() as u64;
+                shard
+                    .detector
+                    .offer_baseline(record.ts, record.src, record.dst, bytes)
+            }
+            Admitted::Dropped => Vec::new(),
+        };
+        events.extend(emitted.into_iter().map(|event| (index, event)));
+    }
+    (events, ingest_ms, ms(detect_start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::LiveEventKind;
+    use quicsand_net::{TcpFlags, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn victim(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(198, 51, 100, last)
+    }
+
+    /// A TCP SYN-ACK backscatter record (baseline channel).
+    fn syn_ack(ts_micros: u64, src: Ipv4Addr) -> PacketRecord {
+        PacketRecord::tcp(
+            Timestamp::from_micros(ts_micros),
+            src,
+            Ipv4Addr::new(10, 0, 0, 7),
+            443,
+            50_000,
+            TcpFlags::SYN_ACK,
+        )
+    }
+
+    /// A multi-victim flood trace: `victims` interleaved at 2 pps each
+    /// for `secs` seconds.
+    fn trace(victims: &[Ipv4Addr], secs: u64) -> Vec<PacketRecord> {
+        let mut records = Vec::new();
+        for tick in 0..(secs * 2) {
+            for (v, addr) in victims.iter().enumerate() {
+                records.push(syn_ack(tick * 500_000 + v as u64, *addr));
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn shard_count_does_not_change_closed_alerts() {
+        let records = trace(&[victim(1), victim(2), victim(3), victim(4)], 120);
+        let run = |shards: usize| {
+            let mut engine = LiveEngine::new(LiveConfig::default(), GuardConfig::default(), shards);
+            let mut events = Vec::new();
+            for chunk in records.chunks(17) {
+                events.extend(engine.offer_chunk(chunk));
+            }
+            events.extend(engine.finish());
+            (events, engine.closed_common(), engine.live_stats())
+        };
+        let (one_events, one_closed, one_stats) = run(1);
+        assert_eq!(one_closed.len(), 4);
+        for shards in [2, 3, 8] {
+            let (_, closed, stats) = run(shards);
+            assert_eq!(closed, one_closed, "{shards} shards");
+            assert_eq!(stats.opened, one_stats.opened);
+            assert_eq!(stats.closed, one_stats.closed);
+        }
+        let opens = one_events
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Opened)
+            .count();
+        assert_eq!(opens, 4);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_event_log() {
+        let records = trace(&[victim(5), victim(6)], 90);
+        let run = |chunk: usize| {
+            let mut engine = LiveEngine::new(LiveConfig::default(), GuardConfig::default(), 2);
+            let mut events = Vec::new();
+            for part in records.chunks(chunk) {
+                events.extend(engine.offer_chunk(part));
+            }
+            events.extend(engine.finish());
+            events
+        };
+        let baseline = run(usize::MAX);
+        for chunk in [1, 7, 64] {
+            assert_eq!(run(chunk), baseline, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn quarantined_records_never_reach_the_detector() {
+        let mut engine = LiveEngine::new(LiveConfig::default(), GuardConfig::default(), 1);
+        let record = syn_ack(1_000_000, victim(7));
+        engine.offer(&record);
+        engine.offer(&record); // byte-identical duplicate → quarantined
+        assert_eq!(engine.ingest_stats().quarantine.duplicate, 1);
+        assert_eq!(engine.live_stats().events_in, 1);
+        assert_eq!(engine.offered(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_mid_stream_is_invisible() {
+        let records = trace(&[victim(8), victim(9)], 120);
+        let half = records.len() / 2;
+
+        let mut straight = LiveEngine::new(LiveConfig::default(), GuardConfig::default(), 2);
+        let mut straight_events = straight.offer_chunk(&records);
+        straight_events.extend(straight.finish());
+
+        let mut first = LiveEngine::new(LiveConfig::default(), GuardConfig::default(), 2);
+        let mut resumed_events = first.offer_chunk(&records[..half]);
+        let snapshot = first.snapshot();
+        let mut second = LiveEngine::restore(&snapshot);
+        assert_eq!(second.snapshot(), snapshot, "restore is lossless");
+        resumed_events.extend(second.offer_chunk(&records[half..]));
+        resumed_events.extend(second.finish());
+
+        assert_eq!(resumed_events, straight_events);
+        assert_eq!(second.closed_common(), straight.closed_common());
+        assert_eq!(second.live_stats(), straight.live_stats());
+        assert_eq!(second.ingest_stats(), straight.ingest_stats());
+    }
+
+    #[test]
+    fn empty_chunk_is_a_no_op() {
+        let mut engine = LiveEngine::new(LiveConfig::default(), GuardConfig::default(), 4);
+        assert!(engine.offer_chunk(&[]).is_empty());
+        assert_eq!(engine.offered(), 0);
+        assert!(engine.finish().is_empty());
+    }
+}

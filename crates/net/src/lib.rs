@@ -25,6 +25,9 @@
 //!   every capture in Wireshark — the paper's §4.1 dissection tool.
 //! * [`rng`] — seed-splitting helpers so every subsystem gets an
 //!   independent, reproducible ChaCha stream.
+//! * [`stream`] — pull-based [`stream::StreamSource`] adapters that
+//!   feed the live detection engine from a capture replay or an
+//!   in-memory scenario.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,8 +40,10 @@ pub mod link;
 pub mod pcap;
 pub mod record;
 pub mod rng;
+pub mod stream;
 pub mod time;
 
 pub use ip::Ipv4Prefix;
 pub use record::{IcmpKind, PacketRecord, TcpFlags, Transport};
+pub use stream::{MemoryStream, StreamSource};
 pub use time::{Duration, Timestamp};

@@ -46,11 +46,32 @@ impl DosThresholds {
         }
     }
 
+    /// Scales *these* thresholds by `w` — unlike [`Self::weighted`],
+    /// which always scales the Moore defaults. The live engine derives
+    /// its escalation tier from the operator's base thresholds this way.
+    pub fn scaled(&self, w: f64) -> Self {
+        DosThresholds {
+            min_packets: self.min_packets * w,
+            min_duration: Duration::from_secs_f64(self.min_duration.as_secs_f64() * w),
+            min_max_pps: self.min_max_pps * w,
+        }
+    }
+
     /// Whether a session qualifies as an attack.
     pub fn matches(&self, session: &Session) -> bool {
-        session.packet_count as f64 > self.min_packets
-            && session.duration() > self.min_duration
-            && session.max_pps() > self.min_max_pps
+        self.matches_measures(session.packet_count, session.duration(), session.max_pps())
+    }
+
+    /// [`Self::matches`] over raw measures, for callers that track the
+    /// three quantities incrementally instead of holding a [`Session`]
+    /// (the streaming detector). All three measures are monotone
+    /// non-decreasing over a session's lifetime, so once this returns
+    /// `true` for an open session it stays `true` — the property behind
+    /// the live alert lifecycle's no-flap guarantee.
+    pub fn matches_measures(&self, packets: u64, duration: Duration, max_pps: f64) -> bool {
+        packets as f64 > self.min_packets
+            && duration > self.min_duration
+            && max_pps > self.min_max_pps
     }
 }
 
@@ -189,7 +210,9 @@ pub fn summarize_excluded(
         if v.is_empty() {
             return 0.0;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        // total_cmp: a NaN-rate session quarantined upstream must never
+        // panic the percentile sort (NaNs order after every number).
+        v.sort_by(f64::total_cmp);
         v[(v.len() - 1) / 2]
     };
     ExcludedSessionsSummary {

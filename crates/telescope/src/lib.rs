@@ -25,6 +25,6 @@ pub use binning::HourlySeries;
 pub use filter::ResearchFilter;
 pub use parallel::{ingest_parallel, ingest_parallel_with, shard_of};
 pub use pipeline::{
-    record_hash, GuardConfig, IngestError, IngestStats, QuarantineStats, QuicObservation,
-    TelescopePipeline,
+    record_hash, Admitted, GuardConfig, IngestError, IngestStats, PipelineSnapshot, PipelineStats,
+    QuarantineStats, QuicObservation, TelescopePipeline,
 };

@@ -36,6 +36,22 @@ pub struct QuicObservation {
     pub dissected: DissectedPacket,
 }
 
+/// Outcome of streaming one record through
+/// [`TelescopePipeline::admit`]: the validated product is handed to
+/// the caller instead of being buffered, so an unbounded stream can be
+/// processed in constant memory (modulo per-source guard state).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admitted {
+    /// A validated QUIC packet (request or response).
+    Quic(QuicObservation),
+    /// A TCP/ICMP record passed through to the common-protocols
+    /// baseline.
+    Baseline(PacketRecord),
+    /// Quarantined or out of scope; the reason is counted in
+    /// [`IngestStats`].
+    Dropped,
+}
+
 /// *Why* the ingest pipeline quarantined a record.
 ///
 /// Real IBR contains truncated captures, garbage version fields,
@@ -282,6 +298,101 @@ struct SourceGuard {
     last_hash: u64,
 }
 
+/// One source's guard state in a [`PipelineSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardEntry {
+    /// The source address.
+    pub src: Ipv4Addr,
+    /// High-water timestamp seen from this source.
+    pub max_ts: Timestamp,
+    /// FNV-1a fingerprint of the last record from this source.
+    pub last_hash: u64,
+}
+
+/// Serializable checkpoint of the pipeline's streaming state: per-source
+/// guard watermarks/duplicate hashes plus the ingest counters.
+///
+/// The accumulated batch products (`quic_observations`,
+/// `baseline_records`) are deliberately *not* part of the snapshot — the
+/// snapshot exists for the streaming path ([`TelescopePipeline::admit`]),
+/// where records are handed to the caller instead of buffered and those
+/// vectors stay empty. Entries are sorted by source so identical state
+/// always serializes identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    /// Guard thresholds in effect.
+    pub guard: GuardConfig,
+    /// Per-source guard state, sorted by source address.
+    pub guards: Vec<GuardEntry>,
+    /// Ingest counters at checkpoint time.
+    pub stats: IngestStats,
+}
+
+/// Wall-clock telemetry for the pipeline stages, surfaced by
+/// `quicsand analyze --verbose` / `quicsand live --verbose`.
+///
+/// Timings vary run to run, so this struct is deliberately *not* part
+/// of the deterministic analysis products (reports never include it).
+/// The batch path fills `sanitize_ms`; the live path runs detection
+/// incrementally and fills `sessionize_ms`/`detect_ms` with the
+/// detector-offer and final-flush times instead.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Worker threads (batch) or shards (live) actually used.
+    pub threads: usize,
+    /// Records ingested.
+    pub records: u64,
+    /// Ingest stage (guard + classify + dissect) wall time, ms. In the
+    /// parallel path this is the slowest shard (critical path).
+    pub ingest_ms: f64,
+    /// Sanitize stage (research-scanner detection + split) wall time,
+    /// ms. Zero in live mode (sanitization is inherently two-pass).
+    pub sanitize_ms: f64,
+    /// Sessionization wall time, ms. In live mode: time spent in
+    /// incremental detector offers (sessionize + threshold checks).
+    pub sessionize_ms: f64,
+    /// DoS inference + multi-vector correlation wall time, ms. In live
+    /// mode: the end-of-stream flush (expiry + final correlation).
+    pub detect_ms: f64,
+    /// Sum of the sessionizers'/detectors' open-state high-water marks —
+    /// an upper bound on simultaneously held per-source state, the
+    /// quantity the watermark expiry (batch) or LRU cap (live) bounds.
+    pub peak_open_sessions: usize,
+    /// Records the ingest guard + dissector quarantined, all kinds
+    /// summed (the per-kind breakdown lives in
+    /// [`IngestStats::quarantine`]).
+    pub quarantined: u64,
+}
+
+impl PipelineStats {
+    /// Ingest throughput in records per second.
+    pub fn ingest_records_per_sec(&self) -> f64 {
+        if self.ingest_ms <= 0.0 {
+            0.0
+        } else {
+            self.records as f64 / (self.ingest_ms / 1_000.0)
+        }
+    }
+
+    /// Merges another shard's timings: per-stage maxima (the critical
+    /// path under parallel execution) and summed peak open state.
+    pub fn max_stage(&mut self, other: &PipelineStats) {
+        self.ingest_ms = self.ingest_ms.max(other.ingest_ms);
+        self.sanitize_ms = self.sanitize_ms.max(other.sanitize_ms);
+        self.sessionize_ms = self.sessionize_ms.max(other.sessionize_ms);
+        self.detect_ms = self.detect_ms.max(other.detect_ms);
+        self.peak_open_sessions += other.peak_open_sessions;
+    }
+
+    /// One-line per-stage walltime summary (the `--verbose` line).
+    pub fn stage_summary(&self) -> String {
+        format!(
+            "stages: ingest {:.1}ms / sanitize {:.1}ms / sessionize {:.1}ms / detect {:.1}ms",
+            self.ingest_ms, self.sanitize_ms, self.sessionize_ms, self.detect_ms
+        )
+    }
+}
+
 /// Platform-independent FNV-1a fingerprint of a record (timestamp,
 /// addresses, transport and payload). Used for per-source duplicate
 /// detection; two records collide only if byte-identical (up to hash
@@ -376,9 +487,67 @@ impl TelescopePipeline {
         }
     }
 
+    /// Creates a pipeline resuming from a streaming checkpoint: guard
+    /// state and counters are restored, batch buffers start empty (see
+    /// [`PipelineSnapshot`]). A restored pipeline makes the exact same
+    /// admit/quarantine decisions on the remaining stream as the
+    /// original would have.
+    pub fn restore(snapshot: &PipelineSnapshot) -> Self {
+        TelescopePipeline {
+            guard: snapshot.guard,
+            guards: snapshot
+                .guards
+                .iter()
+                .map(|e| {
+                    (
+                        e.src,
+                        SourceGuard {
+                            max_ts: e.max_ts,
+                            last_hash: e.last_hash,
+                        },
+                    )
+                })
+                .collect(),
+            stats: snapshot.stats.clone(),
+            quic: Vec::new(),
+            baseline: Vec::new(),
+        }
+    }
+
+    /// Checkpoints the streaming state (guard config, per-source guard
+    /// watermarks, counters). See [`PipelineSnapshot`] for what is and
+    /// is not captured.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        let mut guards: Vec<GuardEntry> = self
+            .guards
+            .iter()
+            .map(|(src, g)| GuardEntry {
+                src: *src,
+                max_ts: g.max_ts,
+                last_hash: g.last_hash,
+            })
+            .collect();
+        guards.sort_by_key(|e| e.src);
+        PipelineSnapshot {
+            guard: self.guard,
+            guards,
+            stats: self.stats.clone(),
+        }
+    }
+
     /// Ingests one record.
     pub fn ingest(&mut self, record: &PacketRecord) {
         self.ingest_classified(record, classify_record(record));
+    }
+
+    /// Streams one record through the guard + classifier and hands the
+    /// admitted product back to the caller instead of buffering it —
+    /// the live engine's entry point, sharing every guard/quarantine
+    /// decision with the batch path. Counters advance identically to
+    /// [`ingest`](Self::ingest); only the destination of the admitted
+    /// record differs.
+    pub fn admit(&mut self, record: &PacketRecord) -> Admitted {
+        self.admit_classified(record, classify_record(record))
     }
 
     /// Runs the pre-classification guard: duplicate suppression and
@@ -419,15 +588,31 @@ impl TelescopePipeline {
 
     /// Ingests one record under an externally supplied classification.
     ///
-    /// This is the panic-free core of [`ingest`](Self::ingest): guard
-    /// rejections (duplicates, backwards timestamps) and dissection
-    /// failures are counted per kind in [`IngestStats::quarantine`]
-    /// and dropped rather than crashing the whole run.
+    /// This is the panic-free buffering wrapper of
+    /// [`admit_classified`](Self::admit_classified): guard rejections
+    /// (duplicates, backwards timestamps) and dissection failures are
+    /// counted per kind in [`IngestStats::quarantine`] and dropped
+    /// rather than crashing the whole run.
     pub fn ingest_classified(&mut self, record: &PacketRecord, classification: Classification) {
+        match self.admit_classified(record, classification) {
+            Admitted::Quic(obs) => self.quic.push(obs),
+            Admitted::Baseline(record) => self.baseline.push(record),
+            Admitted::Dropped => {}
+        }
+    }
+
+    /// [`admit`](Self::admit) under an externally supplied
+    /// classification — the shared guard/quarantine/dissection core of
+    /// both execution modes.
+    pub fn admit_classified(
+        &mut self,
+        record: &PacketRecord,
+        classification: Classification,
+    ) -> Admitted {
         self.stats.total += 1;
         if let Some(error) = self.guard_check(record) {
             self.stats.quarantine.record(&error);
-            return;
+            return Admitted::Dropped;
         }
         match classification {
             Classification::QuicCandidate(direction) => {
@@ -446,13 +631,13 @@ impl TelescopePipeline {
                         self.stats
                             .quarantine
                             .record(&IngestError::TransportMismatch);
-                        return;
+                        return Admitted::Dropped;
                     }
                 };
                 match dissect_udp_payload(payload) {
                     Ok(dissected) => {
                         self.stats.quic_valid += 1;
-                        self.quic.push(QuicObservation {
+                        Admitted::Quic(QuicObservation {
                             ts: record.ts,
                             src: record.src,
                             dst: record.dst,
@@ -460,7 +645,7 @@ impl TelescopePipeline {
                             dst_port,
                             direction,
                             dissected,
-                        });
+                        })
                     }
                     Err(error) => {
                         // Every dissector rejection remains a port-filter
@@ -470,19 +655,26 @@ impl TelescopePipeline {
                         self.stats
                             .quarantine
                             .record(&IngestError::from_dissect(&error));
+                        Admitted::Dropped
                     }
                 }
             }
             Classification::Tcp => {
                 self.stats.tcp += 1;
-                self.baseline.push(record.clone());
+                Admitted::Baseline(record.clone())
             }
             Classification::Icmp => {
                 self.stats.icmp += 1;
-                self.baseline.push(record.clone());
+                Admitted::Baseline(record.clone())
             }
-            Classification::OtherUdp => self.stats.other_udp += 1,
-            Classification::AmbiguousBothPorts => self.stats.ambiguous += 1,
+            Classification::OtherUdp => {
+                self.stats.other_udp += 1;
+                Admitted::Dropped
+            }
+            Classification::AmbiguousBothPorts => {
+                self.stats.ambiguous += 1;
+                Admitted::Dropped
+            }
         }
     }
 

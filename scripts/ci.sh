@@ -57,4 +57,22 @@ if [[ -z "$quarantined" || "$quarantined" -eq 0 ]]; then
 fi
 echo "faulted-smoke: $quarantined records quarantined, exit 0 — OK"
 
+echo "==> live-smoke: streaming engine over the same capture"
+# The live engine must stream the capture cleanly (exit 0), emit at
+# least one closed alert, and self-verify a mid-stream JSON checkpoint.
+live_out="$(cargo run -q $profile_flag -- live "$smoke_dir/smoke.qscp" \
+  --shards 2 --chunk 2048 --checkpoint-every 100000 2>&1)"
+echo "$live_out" | grep -q ' CLOSE ' || {
+  echo "live-smoke: no CLOSE alert in output" >&2
+  echo "$live_out" | tail -20 >&2
+  exit 1
+}
+echo "$live_out" | grep -E '^live: .* checkpoint\(s\) verified$' | grep -qv ' 0 checkpoint(s)' || {
+  echo "live-smoke: checkpoint self-verification did not run" >&2
+  echo "$live_out" | tail -5 >&2
+  exit 1
+}
+closes="$(echo "$live_out" | grep -c ' CLOSE ')"
+echo "live-smoke: $closes closed alert(s), checkpoints verified, exit 0 — OK"
+
 echo "CI green."

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! quicsand generate --out capture.qscp [--scale test|demo|paper] [--seed N]
-//! quicsand analyze <capture.qscp> [--threads N]
+//! quicsand analyze <capture.qscp> [--threads N] [--verbose]
+//! quicsand live <capture.qscp> [--shards N] [--checkpoint-every N] [--alert-format text|json]
 //! quicsand replay --pps 1000 [--requests 300001] [--workers 4] [--retry|--adaptive 0.5]
 //! quicsand experiments [--scale test|demo|paper]
 //! ```
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "live" => cmd_live(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
         "experiments" => cmd_experiments(&args[1..]),
         "export" => cmd_export(&args[1..]),
@@ -50,15 +52,31 @@ USAGE:
     quicsand generate --out <file.qscp> [--scale test|demo|paper] [--seed N]
         Generate a synthetic telescope capture and write it to disk.
 
-    quicsand analyze <file.qscp> [--threads N]
+    quicsand analyze <file.qscp> [--threads N] [--verbose]
                      [--fault-profile none|standard|aggressive] [--fault-seed N]
         Run the sessionization + DoS-inference pipeline on a capture.
         --threads shards ingest+sessionization by source across N
         workers (default: all cores); results are identical at any N.
+        --verbose adds a per-stage walltime breakdown.
         --fault-profile injects a seeded adversarial fault mix
         (truncation, corrupt versions, duplicates, clock skew, ...)
         into the record stream before ingest, to exercise the
         quarantine path; --fault-seed varies the mix (default 0xF4017).
+
+    quicsand live <file.qscp> [--window MINS] [--weight W] [--escalate W]
+                  [--shards N] [--chunk N] [--max-victims N]
+                  [--checkpoint-every N] [--alert-format text|json]
+                  [--verbose]
+        Stream the capture through the live flood-detection engine and
+        print alert lifecycle events (OPEN / ESCALATE / CLOSE /
+        RECLASSIFY) as they fire. --window sets the sessionization
+        timeout; --weight scales the Moore thresholds; --escalate sets
+        the escalation tier multiplier; --shards runs per-source
+        detector shards (alerts are identical at any N);
+        --max-victims caps tracked victims per channel (LRU eviction);
+        --checkpoint-every N snapshots the engine every N records,
+        round-trips it through JSON, and resumes from the restored
+        copy — proving the checkpoint is lossless mid-run.
 
     quicsand replay --pps <rate> [--requests N] [--workers N]
                     [--retry | --adaptive <occupancy>]
@@ -281,17 +299,16 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     }
     let pipeline = &analysis.stats;
     println!(
-        "pipeline: {} thread(s), {:.0} records/s ingest; stage walltime \
-         ingest {:.1}ms / sanitize {:.1}ms / sessionize {:.1}ms / detect {:.1}ms; \
-         peak open sessions {}",
+        "pipeline: {} thread(s), {:.0} records/s ingest; peak open sessions {}",
         pipeline.threads,
         pipeline.ingest_records_per_sec(),
-        pipeline.ingest_ms,
-        pipeline.sanitize_ms,
-        pipeline.sessionize_ms,
-        pipeline.detect_ms,
         pipeline.peak_open_sessions
     );
+    if has_flag(args, "--verbose") {
+        // Keep the `pipeline:` prefix: walltime lines are excluded from
+        // cross-thread determinism comparisons by that prefix.
+        println!("pipeline: {}", pipeline.stage_summary());
+    }
     println!(
         "sanitized: {} requests / {} responses after removing {} research packets from {} scanner(s)",
         analysis.requests.len(),
@@ -328,6 +345,180 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         analysis.multivector.share(MultiVectorClass::Isolated) * 100.0,
         analysis.quic_attacks.len()
     );
+    Ok(())
+}
+
+fn cmd_live(args: &[String]) -> Result<(), String> {
+    use quicsand_live::{LiveConfig, LiveEngine, LiveSnapshot};
+    use quicsand_net::stream::StreamSource;
+    use quicsand_net::Duration;
+    use quicsand_sessions::dos::DosThresholds;
+    use quicsand_sessions::multivector::MultiVectorClass;
+    use quicsand_sessions::SessionConfig;
+    use quicsand_telescope::GuardConfig;
+
+    let path = positional(args).ok_or("live requires a capture path")?;
+    let window: u64 = flag_value(args, "--window")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid --window `{v}` (minutes)"))
+        })
+        .transpose()?
+        .unwrap_or(5);
+    let weight: f64 = flag_value(args, "--weight")?
+        .map(|v| v.parse().map_err(|_| format!("invalid --weight `{v}`")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let escalate: f64 = flag_value(args, "--escalate")?
+        .map(|v| v.parse().map_err(|_| format!("invalid --escalate `{v}`")))
+        .transpose()?
+        .unwrap_or(LiveConfig::default().escalation_weight);
+    let shards: usize = flag_value(args, "--shards")?
+        .map(|v| v.parse().map_err(|_| format!("invalid --shards `{v}`")))
+        .transpose()?
+        .unwrap_or(1);
+    let chunk: usize = flag_value(args, "--chunk")?
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&c| c >= 1)
+                .ok_or(format!("invalid --chunk `{v}` (want an integer >= 1)"))
+        })
+        .transpose()?
+        .unwrap_or(1024);
+    let max_victims: usize = flag_value(args, "--max-victims")?
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&m| m >= 1)
+                .ok_or(format!("invalid --max-victims `{v}`"))
+        })
+        .transpose()?
+        .unwrap_or(LiveConfig::default().max_victims);
+    let checkpoint_every: Option<u64> = flag_value(args, "--checkpoint-every")?
+        .map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("invalid --checkpoint-every `{v}`"))
+        })
+        .transpose()?;
+    let json = match flag_value(args, "--alert-format")?.unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => return Err(format!("unknown --alert-format `{other}` (want text|json)")),
+    };
+    let verbose = has_flag(args, "--verbose");
+
+    let guard = GuardConfig::default();
+    let config = LiveConfig {
+        thresholds: DosThresholds::moore().scaled(weight),
+        // Match the batch pipeline's convention: sessionization
+        // tolerates exactly the reordering the ingest guard admits.
+        session: SessionConfig {
+            timeout: Duration::from_mins(window),
+            skew_tolerance: guard.reorder_tolerance,
+        },
+        escalation_weight: escalate,
+        max_victims,
+        ..LiveConfig::default()
+    };
+    let mut engine = LiveEngine::new(config, guard, shards);
+
+    let file = std::fs::File::open(path.as_str()).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader =
+        CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
+
+    let emit = |event: &quicsand_live::LiveEvent| {
+        if json {
+            println!("{}", event.render_json());
+        } else {
+            println!("{}", event.render_text());
+        }
+    };
+
+    let mut since_checkpoint: u64 = 0;
+    let mut checkpoints: u64 = 0;
+    loop {
+        let records = reader
+            .pull_chunk(chunk)
+            .map_err(|e| format!("read records: {e}"))?;
+        if records.is_empty() {
+            break;
+        }
+        since_checkpoint += records.len() as u64;
+        for event in engine.offer_chunk(&records) {
+            emit(&event);
+        }
+        if checkpoint_every.is_some_and(|every| since_checkpoint >= every) {
+            // Self-verifying checkpoint: serialize the snapshot,
+            // restore a fresh engine from the parsed copy, prove the
+            // round trip is lossless, and continue from the restored
+            // engine — the rest of the run exercises the resume path.
+            let snapshot = engine.snapshot();
+            let encoded =
+                serde_json::to_string(&snapshot).map_err(|e| format!("checkpoint encode: {e}"))?;
+            let decoded: LiveSnapshot =
+                serde_json::from_str(&encoded).map_err(|e| format!("checkpoint decode: {e}"))?;
+            let restored = LiveEngine::restore(&decoded);
+            if restored.snapshot() != snapshot {
+                return Err(format!(
+                    "checkpoint self-verification failed after {} records",
+                    engine.offered()
+                ));
+            }
+            engine = restored;
+            checkpoints += 1;
+            since_checkpoint = 0;
+            if verbose {
+                eprintln!(
+                    "checkpoint {} verified at {} records ({} bytes)",
+                    checkpoints,
+                    engine.offered(),
+                    encoded.len()
+                );
+            }
+        }
+    }
+    for event in engine.finish() {
+        emit(&event);
+    }
+
+    let stats = engine.live_stats();
+    let ingest = engine.ingest_stats();
+    println!(
+        "live: {} records in, {} opened / {} escalated / {} closed / {} reclassified, \
+         {} eviction(s), {} quarantined",
+        engine.offered(),
+        stats.opened,
+        stats.escalated,
+        stats.closed,
+        stats.reclassified,
+        stats.evictions,
+        ingest.quarantine.total()
+    );
+    let quic = engine.closed_quic();
+    let class_count = |class: MultiVectorClass| quic.iter().filter(|c| c.class() == class).count();
+    println!(
+        "live: {} QUIC flood(s) ({} concurrent / {} sequential / {} isolated), \
+         {} TCP/ICMP flood(s), {} checkpoint(s) verified",
+        quic.len(),
+        class_count(MultiVectorClass::Concurrent),
+        class_count(MultiVectorClass::Sequential),
+        class_count(MultiVectorClass::Isolated),
+        engine.closed_common().len(),
+        checkpoints
+    );
+    if verbose {
+        let pipeline = engine.pipeline_stats();
+        println!(
+            "live: {} shard(s), {:.0} records/s ingest; {}; peak tracked victims {}",
+            shards.max(1),
+            pipeline.ingest_records_per_sec(),
+            pipeline.stage_summary(),
+            stats.peak_tracked
+        );
+    }
     Ok(())
 }
 

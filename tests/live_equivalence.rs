@@ -1,0 +1,275 @@
+//! Online ≡ offline: on any finite trace the live engine's closed
+//! alerts must equal the batch pipeline's `detect_attacks` +
+//! `classify_multivector` output for the same thresholds — at any shard
+//! count, any chunk size, and across a JSON snapshot/restore
+//! checkpoint. The only sanctioned divergence is memory-pressure
+//! eviction, which is exercised (and bounded) separately below.
+
+use quicsand_dissect::Direction;
+use quicsand_live::{LiveConfig, LiveEngine, LiveEvent, LiveEventKind, LiveSnapshot};
+use quicsand_net::{Duration, PacketRecord, TcpFlags, Timestamp};
+use quicsand_sessions::dos::AttackProtocol;
+use quicsand_sessions::{
+    classify_multivector, detect_attacks, Attack, MultiVectorClass, SessionConfig, Sessionizer,
+};
+use quicsand_telescope::{Admitted, GuardConfig, TelescopePipeline};
+use quicsand_traffic::{Scenario, ScenarioConfig};
+use std::net::Ipv4Addr;
+
+/// One QUIC attack's multi-vector verdict: (class, overlap share, gap).
+type Verdict = (MultiVectorClass, Option<f64>, Option<Duration>);
+
+/// The deterministic fig06-style scenario trace (capture order).
+fn scenario_records() -> Vec<PacketRecord> {
+    Scenario::generate(&ScenarioConfig::test()).records
+}
+
+/// The live configuration under test, mirroring the batch pipeline's
+/// convention that sessionization tolerates exactly the reordering the
+/// ingest guard admits.
+fn live_config(guard: &GuardConfig) -> LiveConfig {
+    LiveConfig {
+        session: SessionConfig {
+            skew_tolerance: guard.reorder_tolerance,
+            ..SessionConfig::default()
+        },
+        ..LiveConfig::default()
+    }
+}
+
+/// The offline reference: raw ingest guard → sessionize the Response
+/// and baseline channels → threshold detection → multi-vector
+/// classification, exactly as the batch analysis does (minus the
+/// two-pass research-scanner filter, which is inherently offline).
+fn batch_reference(
+    records: &[PacketRecord],
+    guard: GuardConfig,
+    config: &LiveConfig,
+) -> (Vec<Attack>, Vec<Attack>, Vec<Verdict>) {
+    let mut pipeline = TelescopePipeline::with_guard(guard);
+    let mut responses = Sessionizer::new(config.session);
+    let mut commons = Sessionizer::new(config.session);
+    for record in records {
+        match pipeline.admit(record) {
+            Admitted::Quic(obs) => {
+                if obs.direction == Direction::Response {
+                    responses.offer(obs.ts, obs.src);
+                }
+            }
+            Admitted::Baseline(record) => commons.offer(record.ts, record.src),
+            Admitted::Dropped => {}
+        }
+    }
+    let mut response_sessions = responses.finish();
+    let mut common_sessions = commons.finish();
+    response_sessions.sort_by_key(|s| (s.start, s.src));
+    common_sessions.sort_by_key(|s| (s.start, s.src));
+    let quic = detect_attacks(&response_sessions, AttackProtocol::Quic, &config.thresholds);
+    let common = detect_attacks(
+        &common_sessions,
+        AttackProtocol::TcpIcmp,
+        &config.thresholds,
+    );
+    let report = classify_multivector(&quic, &common);
+    let verdicts = report
+        .attacks
+        .iter()
+        .map(|c| (c.class, c.overlap_share, c.gap))
+        .collect();
+    (quic, common, verdicts)
+}
+
+/// Streams the trace through a fresh engine in `chunk`-sized batches.
+fn live_run(
+    records: &[PacketRecord],
+    guard: GuardConfig,
+    config: LiveConfig,
+    shards: usize,
+    chunk: usize,
+) -> (Vec<LiveEvent>, LiveEngine) {
+    let mut engine = LiveEngine::new(config, guard, shards);
+    let mut events = Vec::new();
+    for part in records.chunks(chunk) {
+        events.extend(engine.offer_chunk(part));
+    }
+    events.extend(engine.finish());
+    (events, engine)
+}
+
+/// Asserts the engine's final state against the batch reference:
+/// closed attack sets exactly equal, verdict triples (class, overlap
+/// share, gap) bitwise equal element by element.
+fn assert_matches_batch(
+    engine: &LiveEngine,
+    batch_quic: &[Attack],
+    batch_common: &[Attack],
+    batch_verdicts: &[Verdict],
+    context: &str,
+) {
+    let closed = engine.closed_quic();
+    let live_quic: Vec<Attack> = closed.iter().map(|c| c.attack.clone()).collect();
+    assert_eq!(live_quic, batch_quic, "QUIC attacks diverged: {context}");
+    assert_eq!(
+        engine.closed_common(),
+        batch_common,
+        "common attacks diverged: {context}"
+    );
+    let live_verdicts: Vec<_> = closed.iter().map(|c| c.verdict()).collect();
+    assert_eq!(
+        live_verdicts, batch_verdicts,
+        "multi-vector verdicts diverged: {context}"
+    );
+}
+
+#[test]
+fn closed_alerts_equal_batch_detection_at_any_chunk_and_shard_count() {
+    let mut records = scenario_records();
+    // A prefix is itself a finite trace; it keeps the 12-combination
+    // matrix fast while still closing floods on both channels.
+    records.truncate(60_000);
+    let guard = GuardConfig::default();
+    let config = live_config(&guard);
+    let (batch_quic, batch_common, batch_verdicts) = batch_reference(&records, guard, &config);
+    assert!(
+        !batch_quic.is_empty() && !batch_common.is_empty(),
+        "trace must contain attacks on both channels for the test to mean anything \
+         ({} quic, {} common)",
+        batch_quic.len(),
+        batch_common.len()
+    );
+
+    for shards in [1usize, 2, 8] {
+        for chunk in [1usize, 7, 1024, usize::MAX] {
+            let (_, engine) = live_run(&records, guard, config, shards, chunk);
+            assert_eq!(
+                engine.live_stats().evictions,
+                0,
+                "default cap must not evict"
+            );
+            assert_matches_batch(
+                &engine,
+                &batch_quic,
+                &batch_common,
+                &batch_verdicts,
+                &format!("shards={shards} chunk={chunk}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn full_scenario_trace_matches_batch() {
+    let records = scenario_records();
+    let guard = GuardConfig::default();
+    let config = live_config(&guard);
+    let (batch_quic, batch_common, batch_verdicts) = batch_reference(&records, guard, &config);
+    let (events, engine) = live_run(&records, guard, config, 4, 4096);
+    assert_matches_batch(
+        &engine,
+        &batch_quic,
+        &batch_common,
+        &batch_verdicts,
+        "full trace, shards=4 chunk=4096",
+    );
+    // Every batch attack surfaced as a Closed event, and lifecycle
+    // ordering held per victim (no Closed before its Opened).
+    let closes = events
+        .iter()
+        .filter(|e| e.kind == LiveEventKind::Closed)
+        .count();
+    assert_eq!(closes, batch_quic.len() + batch_common.len());
+    let opens = events
+        .iter()
+        .filter(|e| e.kind == LiveEventKind::Opened)
+        .count();
+    assert_eq!(opens, closes, "every alert that opened also closed");
+}
+
+#[test]
+fn json_checkpoint_resume_emits_identical_alerts() {
+    let mut records = scenario_records();
+    records.truncate(40_000);
+    let guard = GuardConfig::default();
+    let config = live_config(&guard);
+
+    let (straight_events, straight) = live_run(&records, guard, config, 2, 1024);
+
+    // Same stream, but the engine is serialized to JSON, dropped, and
+    // rebuilt from the parsed snapshot every 15k records.
+    let mut engine = LiveEngine::new(config, guard, 2);
+    let mut events = Vec::new();
+    let mut since = 0usize;
+    for part in records.chunks(1024) {
+        events.extend(engine.offer_chunk(part));
+        since += part.len();
+        if since >= 15_000 {
+            since = 0;
+            let snapshot = engine.snapshot();
+            let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+            let parsed: LiveSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+            assert_eq!(parsed, snapshot, "JSON round trip is lossless");
+            engine = LiveEngine::restore(&parsed);
+        }
+    }
+    events.extend(engine.finish());
+
+    assert_eq!(
+        events, straight_events,
+        "event log diverged across checkpoints"
+    );
+    assert_eq!(engine.closed_quic(), straight.closed_quic());
+    assert_eq!(engine.closed_common(), straight.closed_common());
+    assert_eq!(engine.live_stats(), straight.live_stats());
+    assert_eq!(engine.ingest_stats(), straight.ingest_stats());
+}
+
+#[test]
+fn victim_cap_bounds_memory_and_counts_evictions() {
+    // 40 victims flooding simultaneously against a 6-victim cap: the
+    // engine must stay bounded, keep counting, and flag every forced
+    // close as an eviction.
+    let cap = 6usize;
+    let victims: Vec<Ipv4Addr> = (0..40).map(|i| Ipv4Addr::new(198, 51, 100, i)).collect();
+    let mut records = Vec::new();
+    for tick in 0..240u64 {
+        for (i, v) in victims.iter().enumerate() {
+            records.push(PacketRecord::tcp(
+                Timestamp::from_micros(tick * 1_000_000 + i as u64),
+                *v,
+                Ipv4Addr::new(10, 0, 0, 9),
+                443,
+                50_000,
+                TcpFlags::SYN_ACK,
+            ));
+        }
+    }
+    let guard = GuardConfig::default();
+    let config = LiveConfig {
+        max_victims: cap,
+        ..live_config(&guard)
+    };
+    let (events, engine) = live_run(&records, guard, config, 1, 2048);
+
+    let stats = engine.live_stats();
+    assert!(stats.evictions > 0, "cap never triggered: {stats:?}");
+    assert!(
+        stats.peak_tracked <= cap,
+        "victim cap violated: peak {} > {}",
+        stats.peak_tracked,
+        cap
+    );
+    // An eviction only surfaces as an event when the victim had an open
+    // alert (below-threshold victims vanish silently, exactly as their
+    // sessions would in batch detection) — so the flagged closes are a
+    // subset of the counted evictions, and nothing but closes may carry
+    // the flag.
+    assert!(events
+        .iter()
+        .all(|e| !e.evicted || e.kind == LiveEventKind::Closed));
+    let evicted_closes = events.iter().filter(|e| e.evicted).count() as u64;
+    assert!(
+        evicted_closes <= stats.evictions,
+        "{evicted_closes} flagged closes > {} evictions",
+        stats.evictions
+    );
+}
