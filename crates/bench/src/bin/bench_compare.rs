@@ -1,0 +1,87 @@
+//! Validates `BENCH_*.json` reports and gates performance regressions.
+//!
+//! ```text
+//! bench_compare --validate FILE [FILE...]
+//! bench_compare --baseline BENCH_x.json --current fresh.json [--tolerance 0.2]
+//! ```
+//!
+//! Exit status is non-zero on schema violations or regressions beyond
+//! the tolerance (default 20%, `QUICSAND_BENCH_TOLERANCE` overridable).
+//! See `quicsand_bench::report` for the gating policy.
+
+use quicsand_bench::{tolerance_from_env, BenchReport};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let files = &args[i + 1..];
+        if files.is_empty() {
+            return Err("--validate requires at least one file".into());
+        }
+        for file in files {
+            let report = BenchReport::load(Path::new(file))?;
+            eprintln!(
+                "{file}: ok ({}, {} records, {:.0} rec/s)",
+                report.name, report.records, report.throughput_rps
+            );
+        }
+        return Ok(format!("validated {} report(s)", files.len()));
+    }
+
+    let value = |name: &str| -> Result<Option<&String>, String> {
+        match args.iter().position(|a| a == name) {
+            Some(i) => args
+                .get(i + 1)
+                .ok_or(format!("{name} is missing its value"))
+                .map(Some),
+            None => Ok(None),
+        }
+    };
+    let baseline = value("--baseline")?.ok_or(
+        "usage: bench_compare --validate FILE... | --baseline B --current C [--tolerance T]",
+    )?;
+    let current = value("--current")?.ok_or("--baseline requires --current")?;
+    let tolerance = match value("--tolerance")? {
+        Some(t) => t
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && (0.0..1.0).contains(t))
+            .ok_or(format!("invalid --tolerance `{t}` (want 0.0 <= t < 1.0)"))?,
+        None => tolerance_from_env(),
+    };
+
+    let baseline = BenchReport::load(Path::new(baseline))?;
+    let current = BenchReport::load(Path::new(current))?;
+    BenchReport::compare(&baseline, &current, tolerance).map_err(|errors| {
+        format!(
+            "`{}` regressed beyond {:.0}% tolerance:\n  {}",
+            current.name,
+            tolerance * 100.0,
+            errors.join("\n  ")
+        )
+    })?;
+    Ok(format!(
+        "{}: ok — {:.0} rec/s vs baseline {:.0} ({:+.1}%), peak {} vs {} (tolerance {:.0}%)",
+        current.name,
+        current.throughput_rps,
+        baseline.throughput_rps,
+        100.0 * (current.throughput_rps / baseline.throughput_rps - 1.0),
+        current.peak_sessions,
+        baseline.peak_sessions,
+        tolerance * 100.0
+    ))
+}

@@ -11,11 +11,18 @@
 //! (ingest → sanitize → sessionize → DoS inference), plus the speedup
 //! over one shard. The acceptance bar for the parallel pipeline is
 //! ≥ 2× ingest+sessionize throughput at 8 shards vs 1 at demo scale.
+//!
+//! Afterwards it writes `BENCH_shard_scaling.json` (the 1-thread run —
+//! the machine-portable reference configuration) into
+//! `QUICSAND_BENCH_DIR` for the `scripts/ci.sh bench-smoke` regression
+//! gate.
 
-use quicsand_bench::Scale;
+use quicsand_bench::report::quantile_ms;
+use quicsand_bench::{BenchReport, Scale, BENCH_SCHEMA_VERSION};
 use quicsand_core::{Analysis, AnalysisConfig};
 use quicsand_telescope::ingest_parallel;
 use quicsand_traffic::Scenario;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
@@ -45,6 +52,7 @@ fn main() {
 
     let mut ingest_base = 0.0f64;
     let mut frontend_base = 0.0f64;
+    let mut reference: Option<(f64, Analysis)> = None;
     for threads in [1usize, 2, 4, 8] {
         // (a) Parallel ingest alone (classify + dissect).
         let t0 = Instant::now();
@@ -70,6 +78,9 @@ fn main() {
         if threads == 1 {
             ingest_base = ingest_s;
             frontend_base = frontend_s;
+            reference = Some((frontend_s, analysis));
+        } else {
+            drop(analysis);
         }
         println!(
             "{threads:>7}  {:>10.2}s {:>12.0} {:>7.2}x  {:>10.2}s {:>12.0} {:>7.2}x",
@@ -81,4 +92,34 @@ fn main() {
             frontend_base / frontend_s,
         );
     }
+
+    // Regression-gate report from the 1-thread reference run.
+    let (wall, analysis) = reference.expect("1-thread run always executes");
+    let stages = &analysis.metrics.stages;
+    let stage_map = |q: f64| -> BTreeMap<String, f64> {
+        [
+            ("ingest", &stages.ingest_walltime),
+            ("sanitize", &stages.sanitize_walltime),
+            ("sessionize", &stages.sessionize_walltime),
+            ("detect", &stages.detect_walltime),
+        ]
+        .into_iter()
+        .map(|(stage, histogram)| (stage.to_string(), quantile_ms(histogram, q)))
+        .collect()
+    };
+    let report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        name: "shard_scaling".into(),
+        scale: scale.label().into(),
+        records: records.len() as u64,
+        wall_seconds: wall,
+        throughput_rps: records.len() as f64 / wall,
+        p50_stage_latency_ms: stage_map(0.50),
+        p99_stage_latency_ms: stage_map(0.99),
+        peak_sessions: analysis.stats.peak_open_sessions as u64,
+        threads: 1,
+    };
+    report.validate().expect("fresh report is schema-valid");
+    let path = report.write().expect("write bench report");
+    eprintln!("[quicsand] bench report written to {}", path.display());
 }

@@ -18,6 +18,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
+pub use report::{tolerance_from_env, BenchReport, BENCH_SCHEMA_VERSION};
+
 use quicsand_core::{Analysis, AnalysisConfig};
 use quicsand_traffic::{Scenario, ScenarioConfig};
 

@@ -1,0 +1,270 @@
+//! Schema-versioned benchmark reports (`BENCH_<name>.json`) and the
+//! regression comparison behind `scripts/ci.sh bench-smoke`.
+//!
+//! Bench binaries call [`BenchReport::write`] at the end of a run; the
+//! file lands in `QUICSAND_BENCH_DIR` (default: the current directory)
+//! as `BENCH_<name>.json`. The `bench_compare` binary validates the
+//! schema and compares a fresh report against a committed baseline,
+//! failing on regressions beyond the tolerance (default 20%,
+//! overridable via `QUICSAND_BENCH_TOLERANCE` or `--tolerance`).
+//!
+//! Gating policy: **throughput** (lower is a regression) and
+//! **peak sessions** (higher is a regression) are gated. The p50/p99
+//! stage latencies are recorded for trend inspection but *not* gated —
+//! on shared single-core runners their run-to-run variance exceeds any
+//! honest tolerance, and the throughput gate subsumes them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Current `BENCH_*.json` schema version.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark run's headline numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`BENCH_SCHEMA_VERSION`]; bumped on breaking changes.
+    pub schema_version: u32,
+    /// Benchmark name (`shard_scaling`, `live_throughput`, ...).
+    pub name: String,
+    /// The `QUICSAND_SCALE` label the run used.
+    pub scale: String,
+    /// Input records processed.
+    pub records: u64,
+    /// Wall time of the measured section, seconds.
+    pub wall_seconds: f64,
+    /// `records / wall_seconds`.
+    pub throughput_rps: f64,
+    /// Median per-shard/per-chunk stage walltime, milliseconds, from
+    /// the run's metric registry histograms.
+    pub p50_stage_latency_ms: BTreeMap<String, f64>,
+    /// 99th percentile of the same distributions.
+    pub p99_stage_latency_ms: BTreeMap<String, f64>,
+    /// Peak simultaneous sessions (batch) or tracked victims (live).
+    pub peak_sessions: u64,
+    /// Worker threads / shards of the reported configuration.
+    pub threads: usize,
+}
+
+impl BenchReport {
+    /// The canonical file name for this report.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Serializes to pretty JSON (stable field order via serde).
+    pub fn to_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("report serializes");
+        out.push('\n');
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `QUICSAND_BENCH_DIR` (default
+    /// `.`) and returns the path.
+    pub fn write(&self) -> Result<PathBuf, String> {
+        let dir = std::env::var("QUICSAND_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let path = Path::new(&dir).join(self.file_name());
+        std::fs::write(&path, self.to_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(path)
+    }
+
+    /// Loads and schema-validates a report.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let report: BenchReport =
+            serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        report
+            .validate()
+            .map_err(|errors| format!("{}: {}", path.display(), errors.join("; ")))?;
+        Ok(report)
+    }
+
+    /// Structural validity: version match, finite positive numbers, and
+    /// per-stage `p50 <= p99`.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            errors.push(format!(
+                "schema_version {} != supported {BENCH_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.name.is_empty() {
+            errors.push("empty benchmark name".into());
+        }
+        if self.records == 0 {
+            errors.push("records == 0".into());
+        }
+        if !(self.wall_seconds.is_finite() && self.wall_seconds > 0.0) {
+            errors.push(format!(
+                "wall_seconds {} not finite/positive",
+                self.wall_seconds
+            ));
+        }
+        if !(self.throughput_rps.is_finite() && self.throughput_rps > 0.0) {
+            errors.push(format!(
+                "throughput_rps {} not finite/positive",
+                self.throughput_rps
+            ));
+        }
+        if self.threads == 0 {
+            errors.push("threads == 0".into());
+        }
+        for (stage, p99) in &self.p99_stage_latency_ms {
+            let p50 = self.p50_stage_latency_ms.get(stage).copied().unwrap_or(0.0);
+            if p50 > *p99 {
+                errors.push(format!("stage {stage}: p50 {p50} > p99 {p99}"));
+            }
+        }
+        for (label, map) in [
+            ("p50", &self.p50_stage_latency_ms),
+            ("p99", &self.p99_stage_latency_ms),
+        ] {
+            for (stage, v) in map {
+                if !(v.is_finite() && *v >= 0.0) {
+                    errors.push(format!("{label}[{stage}] {v} not finite/non-negative"));
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Compares `current` against the committed `baseline`: fails when
+    /// throughput drops below `1 - tolerance` of the baseline or peak
+    /// sessions grow beyond `1 + tolerance`. Returns human-readable
+    /// regression descriptions.
+    pub fn compare(
+        baseline: &BenchReport,
+        current: &BenchReport,
+        tolerance: f64,
+    ) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        if baseline.name != current.name {
+            errors.push(format!(
+                "name mismatch: baseline `{}` vs current `{}`",
+                baseline.name, current.name
+            ));
+        }
+        if baseline.scale != current.scale {
+            errors.push(format!(
+                "scale mismatch: baseline `{}` vs current `{}` (not comparable)",
+                baseline.scale, current.scale
+            ));
+        }
+        let floor = baseline.throughput_rps * (1.0 - tolerance);
+        if current.throughput_rps < floor {
+            errors.push(format!(
+                "throughput regression: {:.0} rec/s < {:.0} ({:.0}% of baseline {:.0})",
+                current.throughput_rps,
+                floor,
+                100.0 * current.throughput_rps / baseline.throughput_rps,
+                baseline.throughput_rps
+            ));
+        }
+        let ceiling = (baseline.peak_sessions as f64 * (1.0 + tolerance)).ceil() as u64;
+        if current.peak_sessions > ceiling {
+            errors.push(format!(
+                "peak-session regression: {} > {} (baseline {} + {:.0}%)",
+                current.peak_sessions,
+                ceiling,
+                baseline.peak_sessions,
+                tolerance * 100.0
+            ));
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// The comparison tolerance: `QUICSAND_BENCH_TOLERANCE` or 0.20.
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("QUICSAND_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && (0.0..1.0).contains(t))
+        .unwrap_or(0.20)
+}
+
+/// Converts a stage-walltime histogram's quantile (microseconds) to
+/// milliseconds for a report latency map; absent histograms (no
+/// observations) record 0.
+pub fn quantile_ms(histogram: &quicsand_obs::Histogram, q: f64) -> f64 {
+    histogram.quantile(q).map_or(0.0, |micros| micros / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        let mut p50 = BTreeMap::new();
+        let mut p99 = BTreeMap::new();
+        p50.insert("ingest".into(), 1.5);
+        p99.insert("ingest".into(), 4.0);
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            name: "unit".into(),
+            scale: "test".into(),
+            records: 1_000,
+            wall_seconds: 0.5,
+            throughput_rps: 2_000.0,
+            p50_stage_latency_ms: p50,
+            p99_stage_latency_ms: p99,
+            peak_sessions: 40,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn valid_report_round_trips() {
+        let r = report();
+        r.validate().expect("valid");
+        let parsed: BenchReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut r = report();
+        r.schema_version = 99;
+        r.throughput_rps = f64::NAN;
+        r.p50_stage_latency_ms.insert("ingest".into(), 9.0); // > p99
+        let errors = r.validate().unwrap_err();
+        assert_eq!(errors.len(), 3, "{errors:?}");
+    }
+
+    #[test]
+    fn compare_gates_throughput_and_peak() {
+        let baseline = report();
+        let mut current = report();
+        current.throughput_rps = 1_500.0; // -25%
+        current.peak_sessions = 60; // +50%
+        let errors = BenchReport::compare(&baseline, &current, 0.20).unwrap_err();
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        // Inside tolerance passes; faster/smaller always passes.
+        current.throughput_rps = 1_700.0;
+        current.peak_sessions = 48;
+        BenchReport::compare(&baseline, &current, 0.20).expect("within tolerance");
+        current.throughput_rps = 9_999.0;
+        current.peak_sessions = 1;
+        BenchReport::compare(&baseline, &current, 0.20).expect("improvement");
+    }
+
+    #[test]
+    fn mismatched_names_do_not_compare() {
+        let baseline = report();
+        let mut current = report();
+        current.name = "other".into();
+        assert!(BenchReport::compare(&baseline, &current, 0.2).is_err());
+    }
+}

@@ -15,11 +15,13 @@
 //! Every intermediate product is a public field so experiments (and
 //! downstream users) can compute whatever the paper did not.
 
+use crate::metrics::AnalysisMetrics;
 use quicsand_dissect::Direction;
 use quicsand_net::Duration;
+use quicsand_obs::MetricsRegistry;
 use quicsand_sessions::dos::{detect_attacks, Attack, AttackProtocol, DosThresholds};
 use quicsand_sessions::multivector::{classify_multivector, MultiVectorReport};
-use quicsand_sessions::session::{Session, SessionConfig, Sessionizer};
+use quicsand_sessions::session::{Session, SessionConfig, Sessionizer, SessionizerCounters};
 use quicsand_telescope::parallel::{ingest_shard_with, partition_by_source};
 pub use quicsand_telescope::PipelineStats;
 use quicsand_telescope::{
@@ -29,6 +31,7 @@ use quicsand_traffic::Scenario;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default worker count: one shard per available core.
@@ -82,6 +85,18 @@ fn sort_sessions(sessions: &mut [Session]) {
     sessions.sort_by_key(|s| (s.start, s.src));
 }
 
+/// Reads the lifecycle counters and still-open counts of the three
+/// channel sessionizers — must run *before* `finish()` consumes them.
+fn session_tally(sessionizers: [&Sessionizer; 3]) -> (SessionizerCounters, u64) {
+    let mut counters = SessionizerCounters::default();
+    let mut open = 0u64;
+    for sessionizer in sessionizers {
+        counters.merge(&sessionizer.counters());
+        open += sessionizer.open_count() as u64;
+    }
+    (counters, open)
+}
+
 /// All pipeline products.
 #[derive(Debug)]
 pub struct Analysis {
@@ -118,6 +133,14 @@ pub struct Analysis {
     pub stats: PipelineStats,
     /// The configuration used.
     pub config: AnalysisConfig,
+    /// The per-run metric registry every counter below is registered
+    /// on; render it with
+    /// [`render_prometheus`](quicsand_obs::MetricsRegistry::render_prometheus)
+    /// or [`render_json`](quicsand_obs::MetricsRegistry::render_json).
+    pub registry: Arc<MetricsRegistry>,
+    /// Handles to the published metric families (already reconciled
+    /// with the stats fields above — see [`Analysis::verify_metrics`]).
+    pub metrics: AnalysisMetrics,
 }
 
 /// Everything stages 1–3 produce; stages 4–5 are computed on top by
@@ -135,6 +158,15 @@ struct FrontendProducts {
     response_sessions: Vec<Session>,
     common_sessions: Vec<Session>,
     stats: PipelineStats,
+    /// Sessionizer lifecycle counters, summed over every sessionizer
+    /// (read *before* `finish()`, which consumes the sessionizer).
+    session_counters: SessionizerCounters,
+    /// Sessions still open when the end-of-run flush ran (the flush
+    /// closes them; `SessionMetrics::add_final` accounts for that).
+    sessions_open_at_flush: u64,
+    /// One `PipelineStats` per shard (a single entry sequentially) so
+    /// the stage-walltime histograms get one observation per shard.
+    shard_stats: Vec<PipelineStats>,
 }
 
 /// One worker's output in the parallel path. The `requests` /
@@ -153,6 +185,8 @@ struct ShardProducts {
     response_sessions: Vec<Session>,
     common_sessions: Vec<Session>,
     stats: PipelineStats,
+    session_counters: SessionizerCounters,
+    sessions_open_at_flush: u64,
 }
 
 impl Analysis {
@@ -182,6 +216,9 @@ impl Analysis {
             mut response_sessions,
             mut common_sessions,
             mut stats,
+            session_counters,
+            sessions_open_at_flush,
+            shard_stats,
         } = frontend;
 
         // Deterministic session order regardless of close order or
@@ -207,6 +244,23 @@ impl Analysis {
         stats.records = ingest.total;
         stats.quarantined = ingest.quarantine.total();
 
+        // Publish everything into a fresh per-run registry at this
+        // single-threaded tail: counters are exact deltas of the merged
+        // stats, so they reconcile by construction at any thread count.
+        let registry = MetricsRegistry::new();
+        let metrics = AnalysisMetrics::register(&registry);
+        metrics.ingest.add_stats(&ingest);
+        metrics
+            .sessions
+            .add_final(session_counters, sessions_open_at_flush);
+        metrics.dos.observe_attacks(&quic_attacks);
+        metrics.dos.observe_attacks(&common_attacks);
+        for shard in &shard_stats {
+            metrics.stages.observe_frontend(shard);
+        }
+        metrics.stages.observe_detect(stats.detect_ms);
+        metrics.stages.set_totals(&stats);
+
         Analysis {
             ingest,
             research_sources,
@@ -224,6 +278,8 @@ impl Analysis {
             multivector,
             stats,
             config: *config,
+            registry,
+            metrics,
         }
     }
 
@@ -297,11 +353,17 @@ impl Analysis {
         stats.peak_open_sessions = request_sessionizer.peak_open_count()
             + response_sessionizer.peak_open_count()
             + common_sessionizer.peak_open_count();
+        let (session_counters, sessions_open_at_flush) = session_tally([
+            &request_sessionizer,
+            &response_sessionizer,
+            &common_sessionizer,
+        ]);
         let request_sessions = request_sessionizer.finish();
         let response_sessions = response_sessionizer.finish();
         let common_sessions = common_sessionizer.finish();
         stats.sessionize_ms = ms(sessionize_start);
 
+        let shard_stats = vec![stats.clone()];
         FrontendProducts {
             ingest,
             research_sources,
@@ -315,6 +377,9 @@ impl Analysis {
             response_sessions,
             common_sessions,
             stats,
+            session_counters,
+            sessions_open_at_flush,
+            shard_stats,
         }
     }
 
@@ -403,6 +468,11 @@ impl Analysis {
             stats.peak_open_sessions = request_sessionizer.peak_open_count()
                 + response_sessionizer.peak_open_count()
                 + common_sessionizer.peak_open_count();
+            let (session_counters, sessions_open_at_flush) = session_tally([
+                &request_sessionizer,
+                &response_sessionizer,
+                &common_sessionizer,
+            ]);
             let request_sessions = request_sessionizer.finish();
             let response_sessions = response_sessionizer.finish();
             let common_sessions = common_sessionizer.finish();
@@ -421,6 +491,8 @@ impl Analysis {
                 response_sessions,
                 common_sessions,
                 stats,
+                session_counters,
+                sessions_open_at_flush,
             }
         };
 
@@ -450,6 +522,9 @@ impl Analysis {
         let mut response_sessions = Vec::new();
         let mut common_sessions = Vec::new();
         let mut stats = PipelineStats::default();
+        let mut session_counters = SessionizerCounters::default();
+        let mut sessions_open_at_flush = 0u64;
+        let mut shard_stats = Vec::new();
         for shard in shards {
             ingest.merge(&shard.ingest);
             research_sources.extend(shard.research_sources);
@@ -463,6 +538,9 @@ impl Analysis {
             response_sessions.extend(shard.response_sessions);
             common_sessions.extend(shard.common_sessions);
             stats.max_stage(&shard.stats);
+            session_counters.merge(&shard.session_counters);
+            sessions_open_at_flush += shard.sessions_open_at_flush;
+            shard_stats.push(shard.stats);
         }
         // Original record indices are unique → deterministic order.
         tagged_requests.sort_unstable_by_key(|(index, _)| *index);
@@ -483,6 +561,70 @@ impl Analysis {
             response_sessions,
             common_sessions,
             stats,
+            session_counters,
+            sessions_open_at_flush,
+            shard_stats,
+        }
+    }
+
+    /// The reconciliation invariant, checked end to end: every exported
+    /// counter equals the corresponding public product exactly —
+    /// ingest/quarantine/dissect counters against [`Analysis::ingest`],
+    /// session lifecycle counters against the session lists, attack
+    /// counters against the attack lists, and the peak-sessions gauge
+    /// against [`Analysis::stats`]. Returns the mismatch list on
+    /// failure. Holds at any thread count.
+    pub fn verify_metrics(&self) -> Result<(), Vec<String>> {
+        let mut errors = self
+            .metrics
+            .ingest
+            .verify(&self.ingest)
+            .err()
+            .unwrap_or_default();
+        let mut check = |name: &str, counter: u64, expected: u64| {
+            if counter != expected {
+                errors.push(format!("{name}: counter {counter} != expected {expected}"));
+            }
+        };
+        let sessions = self.metrics.sessions.clone();
+        let total_sessions = (self.request_sessions.len()
+            + self.response_sessions.len()
+            + self.common_sessions.len()) as u64;
+        check(
+            "sessions_opened",
+            sessions.opened_total.get(),
+            total_sessions,
+        );
+        check(
+            "sessions_closed",
+            sessions.closed_total.get(),
+            total_sessions,
+        );
+        let dos = &self.metrics.dos;
+        check(
+            "attacks_quic",
+            dos.attacks_quic.get(),
+            self.quic_attacks.len() as u64,
+        );
+        check(
+            "attacks_common",
+            dos.attacks_common.get(),
+            self.common_attacks.len() as u64,
+        );
+        check(
+            "attack_duration_observations",
+            dos.duration_quic.count() + dos.duration_common.count(),
+            (self.quic_attacks.len() + self.common_attacks.len()) as u64,
+        );
+        check(
+            "peak_open_sessions",
+            self.metrics.stages.peak_open_sessions.get(),
+            self.stats.peak_open_sessions as u64,
+        );
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
         }
     }
 
@@ -632,8 +774,14 @@ mod tests {
             )
         };
         let sequential = run_with(1);
+        sequential
+            .verify_metrics()
+            .expect("sequential metrics reconcile");
         for threads in [2usize, 3, 8] {
             let parallel = run_with(threads);
+            parallel
+                .verify_metrics()
+                .unwrap_or_else(|e| panic!("{threads}-thread metrics diverged: {e:?}"));
             assert_eq!(parallel.ingest, sequential.ingest, "{threads} threads");
             assert_eq!(parallel.research_sources, sequential.research_sources);
             assert_eq!(parallel.research_hourly, sequential.research_hourly);
@@ -661,6 +809,23 @@ mod tests {
         assert_eq!(a.stats.records, a.ingest.total);
         assert!(a.stats.peak_open_sessions > 0);
         assert!(a.stats.ingest_records_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn metrics_reconcile_and_export() {
+        let (_, a) = analysis();
+        a.verify_metrics().expect("metrics reconcile with products");
+        // The registry renders both formats and the stable subset is
+        // non-empty (counters mirror the ingest stats).
+        let prom = a.registry.render_prometheus(true);
+        assert!(prom.contains("quicsand_ingest_records_total"));
+        let json = a.registry.render_json(false);
+        assert!(json.contains("quicsand_detect_attacks_total"));
+        assert_eq!(
+            a.metrics.ingest.records_total.get(),
+            a.ingest.total,
+            "counter == stats field"
+        );
     }
 
     #[test]

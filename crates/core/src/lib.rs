@@ -33,8 +33,10 @@
 
 pub mod analysis;
 pub mod experiments;
+pub mod metrics;
 pub mod plot;
 pub mod report;
 
 pub use analysis::{default_threads, Analysis, AnalysisConfig, PipelineStats};
+pub use metrics::AnalysisMetrics;
 pub use report::{Finding, Report};

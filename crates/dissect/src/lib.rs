@@ -20,9 +20,11 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod metrics;
 pub mod quic;
 pub mod stats;
 
 pub use classify::{classify_record, Classification, Direction};
+pub use metrics::DissectMetrics;
 pub use quic::{dissect_udp_payload, DissectError, DissectedPacket, MessageKind, MessageMeta};
 pub use stats::MessageMixStats;

@@ -1,0 +1,115 @@
+//! Per-[`DissectError`]-kind rejection counters.
+//!
+//! The dissector is the stage that turns port-filter candidates into
+//! validated QUIC observations; every rejection it issues lands in one
+//! of these counters. They reconcile exactly with the ingest quarantine
+//! taxonomy: each counter equals the corresponding `QuarantineStats`
+//! field, and their sum equals `IngestStats::quic_false_positives`.
+
+use crate::quic::DissectError;
+use quicsand_obs::{Counter, MetricsRegistry, Stability};
+
+/// Prometheus family name for dissector rejections.
+pub const DISSECT_REJECTED_TOTAL: &str = "quicsand_dissect_rejected_total";
+
+/// One counter per [`DissectError`] kind, registered under
+/// `quicsand_dissect_rejected_total{kind="..."}`.
+#[derive(Debug, Clone)]
+pub struct DissectMetrics {
+    /// Zero-length UDP payloads (`DissectError::Empty`).
+    pub empty: Counter,
+    /// Structurally cut-off packets (`DissectError::Truncated`).
+    pub truncated: Counter,
+    /// Unknown version fields (`DissectError::BadVersion`).
+    pub bad_version: Counter,
+    /// Oversized connection IDs (`DissectError::BadCid`).
+    pub bad_cid: Counter,
+    /// Not structurally QUIC at all (`DissectError::NotQuic`).
+    pub not_quic: Counter,
+}
+
+impl DissectMetrics {
+    /// Registers the five kind-labelled counters on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        const HELP: &str = "QUIC candidates rejected by the payload dissector, by error kind";
+        let kind = |k: &'static str| {
+            registry.counter_with(
+                DISSECT_REJECTED_TOTAL,
+                HELP,
+                Stability::Stable,
+                &[("kind", k)],
+            )
+        };
+        DissectMetrics {
+            empty: kind("empty_payload"),
+            truncated: kind("truncated"),
+            bad_version: kind("bad_version"),
+            bad_cid: kind("bad_cid"),
+            not_quic: kind("not_quic"),
+        }
+    }
+
+    /// Handles not attached to any registry (all increments discarded
+    /// from exposition, but still countable — used by tests).
+    pub fn detached() -> Self {
+        DissectMetrics {
+            empty: Counter::detached(),
+            truncated: Counter::detached(),
+            bad_version: Counter::detached(),
+            bad_cid: Counter::detached(),
+            not_quic: Counter::detached(),
+        }
+    }
+
+    /// Counts one rejection of the given kind.
+    pub fn record(&self, error: &DissectError) {
+        self.counter_for(error).inc();
+    }
+
+    /// The counter corresponding to an error's kind.
+    pub fn counter_for(&self, error: &DissectError) -> &Counter {
+        match error {
+            DissectError::Empty => &self.empty,
+            DissectError::Truncated(_) => &self.truncated,
+            DissectError::BadVersion(_) => &self.bad_version,
+            DissectError::BadCid(_) => &self.bad_cid,
+            DissectError::NotQuic(_) => &self.not_quic,
+        }
+    }
+
+    /// Sum over all kinds — reconciles with
+    /// `IngestStats::quic_false_positives`.
+    pub fn total(&self) -> u64 {
+        self.empty.get()
+            + self.truncated.get()
+            + self.bad_version.get()
+            + self.bad_cid.get()
+            + self.not_quic.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quic::dissect_udp_payload;
+
+    #[test]
+    fn record_routes_by_kind() {
+        let metrics = DissectMetrics::detached();
+        let err = dissect_udp_payload(&[]).unwrap_err();
+        metrics.record(&err);
+        metrics.record(&err);
+        assert_eq!(metrics.empty.get(), 2);
+        assert_eq!(metrics.total(), 2);
+        assert_eq!(metrics.truncated.get(), 0);
+    }
+
+    #[test]
+    fn registered_counters_surface_in_exposition() {
+        let registry = MetricsRegistry::new();
+        let metrics = DissectMetrics::register(&registry);
+        metrics.bad_version.add(3);
+        let text = registry.render_prometheus(true);
+        assert!(text.contains("quicsand_dissect_rejected_total{kind=\"bad_version\"} 3"));
+    }
+}

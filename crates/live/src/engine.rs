@@ -10,20 +10,28 @@
 //! emitted event log is identical at any chunk size, and the closed
 //! alert set is identical at any shard count.
 
-use crate::alert::LiveEvent;
+use crate::alert::{LiveEvent, LiveEventKind};
 use crate::detector::{ClassifiedAttack, DetectorSnapshot, LiveConfig, LiveDetector, LiveStats};
+use crate::metrics::LiveMetrics;
 use quicsand_dissect::Direction;
 use quicsand_net::PacketRecord;
+use quicsand_obs::MetricsRegistry;
 use quicsand_sessions::dos::Attack;
 use quicsand_telescope::parallel::partition_by_source;
 use quicsand_telescope::{
-    Admitted, GuardConfig, IngestStats, PipelineSnapshot, PipelineStats, TelescopePipeline,
+    Admitted, GuardConfig, IngestMetrics, IngestStats, PipelineSnapshot, PipelineStats,
+    StageMetrics, TelescopePipeline,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn ms(since: Instant) -> f64 {
     since.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn to_micros(ms: f64) -> u64 {
+    (ms * 1_000.0).round().max(0.0) as u64
 }
 
 /// One shard's chunk output: record-index-tagged events plus the wall
@@ -73,6 +81,16 @@ pub struct LiveEngine {
     shards: Vec<Shard>,
     offered: u64,
     stats: PipelineStats,
+    /// Per-engine metrics registry (never process-global: restore gets
+    /// a fresh one re-seeded from the snapshot, tests stay hermetic).
+    registry: Arc<MetricsRegistry>,
+    metrics: LiveMetrics,
+    ingest_metrics: IngestMetrics,
+    stages: StageMetrics,
+    /// Stats readings at the last metrics sync — the counters hold
+    /// exactly these values, and each sync publishes the delta.
+    synced_ingest: IngestStats,
+    synced_live: LiveStats,
 }
 
 impl LiveEngine {
@@ -84,6 +102,10 @@ impl LiveEngine {
             ..PipelineStats::default()
         };
         stats.records = 0;
+        let registry = MetricsRegistry::new();
+        let metrics = LiveMetrics::register(&registry);
+        let ingest_metrics = IngestMetrics::register(&registry);
+        let stages = StageMetrics::register(&registry);
         LiveEngine {
             shards: (0..shards)
                 .map(|_| Shard {
@@ -95,6 +117,12 @@ impl LiveEngine {
             guard,
             offered: 0,
             stats,
+            registry,
+            metrics,
+            ingest_metrics,
+            stages,
+            synced_ingest: IngestStats::default(),
+            synced_live: LiveStats::default(),
         }
     }
 
@@ -112,49 +140,59 @@ impl LiveEngine {
         }
         self.offered += records.len() as u64;
         self.stats.records = self.offered;
-        if self.shards.len() == 1 {
-            let (events, ingest_ms, detect_ms) = {
+        let (events, chunk_ingest, chunk_detect) = if self.shards.len() == 1 {
+            let (tagged, ingest_ms, detect_ms) = {
                 let shard = &mut self.shards[0];
                 let indices: Vec<usize> = (0..records.len()).collect();
                 shard_chunk(shard, records, &indices)
             };
-            self.stats.ingest_ms += ingest_ms;
-            self.stats.sessionize_ms += detect_ms;
-            return events.into_iter().map(|(_, event)| event).collect();
-        }
+            let events: Vec<LiveEvent> = tagged.into_iter().map(|(_, event)| event).collect();
+            (events, ingest_ms, detect_ms)
+        } else {
+            let buckets = partition_by_source(records, self.shards.len());
+            let worker =
+                |shard: &mut Shard, indices: &[usize]| shard_chunk(shard, records, indices);
+            let worker = &worker;
+            let results: Vec<ShardChunk> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(buckets.iter())
+                    .map(|(shard, indices)| scope.spawn(move |_| worker(shard, indices)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("live shard worker panicked"))
+                    .collect()
+            })
+            .expect("live scope panicked");
 
-        let buckets = partition_by_source(records, self.shards.len());
-        let worker = |shard: &mut Shard, indices: &[usize]| shard_chunk(shard, records, indices);
-        let worker = &worker;
-        let results: Vec<ShardChunk> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(buckets.iter())
-                .map(|(shard, indices)| scope.spawn(move |_| worker(shard, indices)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("live shard worker panicked"))
-                .collect()
-        })
-        .expect("live scope panicked");
-
-        // Critical-path timing: the slowest shard bounds the chunk.
-        let mut chunk_ingest: f64 = 0.0;
-        let mut chunk_detect: f64 = 0.0;
-        let mut tagged: Vec<(usize, LiveEvent)> = Vec::new();
-        for (events, ingest_ms, detect_ms) in results {
-            chunk_ingest = chunk_ingest.max(ingest_ms);
-            chunk_detect = chunk_detect.max(detect_ms);
-            tagged.extend(events);
-        }
+            // Critical-path timing: the slowest shard bounds the chunk.
+            let mut chunk_ingest: f64 = 0.0;
+            let mut chunk_detect: f64 = 0.0;
+            let mut tagged: Vec<(usize, LiveEvent)> = Vec::new();
+            for (events, ingest_ms, detect_ms) in results {
+                chunk_ingest = chunk_ingest.max(ingest_ms);
+                chunk_detect = chunk_detect.max(detect_ms);
+                tagged.extend(events);
+            }
+            // Original record indices are unique; the stable sort keeps
+            // each record's own events in emission order.
+            tagged.sort_by_key(|(index, _)| *index);
+            let events: Vec<LiveEvent> = tagged.into_iter().map(|(_, event)| event).collect();
+            (events, chunk_ingest, chunk_detect)
+        };
         self.stats.ingest_ms += chunk_ingest;
         self.stats.sessionize_ms += chunk_detect;
-        // Original record indices are unique; the stable sort keeps
-        // each record's own events in emission order.
-        tagged.sort_by_key(|(index, _)| *index);
-        tagged.into_iter().map(|(_, event)| event).collect()
+        // Detector offers are the live "sessionize" stage (incremental
+        // session upkeep + threshold checks).
+        self.stages.ingest_walltime.observe(to_micros(chunk_ingest));
+        self.stages
+            .sessionize_walltime
+            .observe(to_micros(chunk_detect));
+        self.observe_closed(&events);
+        self.sync_metrics();
+        events
     }
 
     /// Ends the stream: closes every open session on every shard and
@@ -172,7 +210,80 @@ impl LiveEngine {
         events.sort_by_key(|e| (e.at, e.victim));
         self.stats.detect_ms += ms(flush_start);
         self.stats.peak_open_sessions = self.live_stats().peak_tracked;
+        self.stages
+            .detect_walltime
+            .observe(to_micros(self.stats.detect_ms));
+        self.observe_closed(&events);
+        self.sync_metrics();
         events
+    }
+
+    /// Records closed alerts' attack distributions (the live side of
+    /// the shared `quicsand_detect_*`/`quicsand_attack_*` families).
+    fn observe_closed(&self, events: &[LiveEvent]) {
+        for event in events {
+            if event.kind == LiveEventKind::Closed {
+                if let Some(attack) = &event.attack {
+                    self.metrics.dos.observe_attack(attack);
+                }
+            }
+        }
+    }
+
+    /// Publishes the stats-to-counter deltas accumulated since the last
+    /// sync. Called at every chunk boundary (and by restore/finish), so
+    /// exported counters reconcile exactly with
+    /// [`LiveEngine::ingest_stats`]/[`LiveEngine::live_stats`] whenever
+    /// the engine is at rest.
+    pub fn sync_metrics(&mut self) {
+        let ingest_now = self.ingest_stats();
+        self.ingest_metrics
+            .add_delta(&self.synced_ingest, &ingest_now);
+        self.synced_ingest = ingest_now;
+        let live_now = self.live_stats();
+        self.metrics.add_delta(&self.synced_live, &live_now);
+        self.synced_live = live_now;
+        self.metrics.tracked.set(self.tracked() as u64);
+        self.stages.set_totals(&self.stats);
+    }
+
+    /// Checks the reconciliation invariant: every exported counter
+    /// equals its stats field. Returns the mismatches on failure.
+    pub fn verify_metrics(&mut self) -> Result<(), Vec<String>> {
+        self.sync_metrics();
+        let mut errors = Vec::new();
+        if let Err(e) = self.ingest_metrics.verify(&self.ingest_stats()) {
+            errors.extend(e);
+        }
+        if let Err(e) = self.metrics.verify(&self.live_stats()) {
+            errors.extend(e);
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Counts one written checkpoint of `bytes` serialized bytes.
+    pub fn record_checkpoint(&self, bytes: u64) {
+        self.metrics.checkpoints_total.inc();
+        self.metrics.checkpoint_bytes_total.add(bytes);
+    }
+
+    /// The engine's metrics registry, for exposition.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The live metric handles (counters reconcile at sync points).
+    pub fn metrics(&self) -> &LiveMetrics {
+        &self.metrics
+    }
+
+    /// The per-chunk stage walltime histograms and totals.
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        &self.stages
     }
 
     /// Checkpoints the engine (guard state, open victims, closed-attack
@@ -199,7 +310,11 @@ impl LiveEngine {
     /// the exact same events for the rest of the stream as the
     /// snapshotted one would have (timing telemetry restarts at zero).
     pub fn restore(snapshot: &LiveSnapshot) -> Self {
-        LiveEngine {
+        let registry = MetricsRegistry::new();
+        let metrics = LiveMetrics::register(&registry);
+        let ingest_metrics = IngestMetrics::register(&registry);
+        let stages = StageMetrics::register(&registry);
+        let mut engine = LiveEngine {
             config: snapshot.config,
             guard: snapshot.guard,
             offered: snapshot.offered,
@@ -216,7 +331,29 @@ impl LiveEngine {
                     detector: LiveDetector::restore(snapshot.config, &shard.detector),
                 })
                 .collect(),
+            registry,
+            metrics,
+            ingest_metrics,
+            stages,
+            synced_ingest: IngestStats::default(),
+            synced_live: LiveStats::default(),
+        };
+        // Re-seed the fresh registry from the restored state: counters
+        // from the snapshot's stats (sync from zero cursors publishes
+        // them whole), attack distributions by re-observing the closed
+        // sets the snapshot carries — bucket counts are pure functions
+        // of the attack set, so a checkpoint/restore cycle leaves every
+        // stable metric exactly where an uninterrupted run would.
+        for shard in &engine.shards {
+            for classified in shard.detector.closed_quic() {
+                engine.metrics.dos.observe_attack(&classified.attack);
+            }
+            for attack in shard.detector.closed_common() {
+                engine.metrics.dos.observe_attack(attack);
+            }
         }
+        engine.sync_metrics();
+        engine
     }
 
     /// Merged ingest counters across shards.

@@ -24,7 +24,9 @@
 pub mod alert;
 pub mod detector;
 pub mod engine;
+pub mod metrics;
 
 pub use alert::{EvidencePacket, LiveEvent, LiveEventKind};
 pub use detector::{ClassifiedAttack, DetectorSnapshot, LiveConfig, LiveDetector, LiveStats};
 pub use engine::{LiveEngine, LiveSnapshot};
+pub use metrics::LiveMetrics;

@@ -1,0 +1,227 @@
+//! Expositions: Prometheus text format and a canonical JSON dump.
+//!
+//! Both render the same sorted snapshot (by metric name, then label
+//! set), so a given registry state has exactly one textual form — which
+//! is what makes golden-snapshot testing of the exports meaningful.
+
+use crate::registry::{Entry, MetricsRegistry};
+use crate::METRICS_JSON_SCHEMA;
+use std::fmt::Write;
+
+impl MetricsRegistry {
+    /// Prometheus text exposition (text/plain; version=0.0.4).
+    ///
+    /// `stable_only` excludes `Volatile` metrics, giving a
+    /// deterministic document for a given trace.
+    pub fn render_prometheus(&self, stable_only: bool) -> String {
+        let entries = self.snapshot_entries(stable_only);
+        let mut out = String::new();
+        let mut last_family: Option<&'static str> = None;
+        for entry in &entries {
+            if last_family != Some(entry.name) {
+                let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+                let _ = writeln!(out, "# TYPE {} {}", entry.name, entry.kind().label());
+                last_family = Some(entry.name);
+            }
+            match entry.sample() {
+                crate::Sample::Counter(v) | crate::Sample::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", entry.name, label_set(entry, &[]), v);
+                }
+                crate::Sample::Histogram {
+                    count,
+                    sum,
+                    bounds,
+                    buckets,
+                } => {
+                    let mut cum = 0u64;
+                    for (idx, bucket) in buckets.iter().enumerate() {
+                        cum += bucket;
+                        let le = bounds
+                            .get(idx)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+Inf".to_string());
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            entry.name,
+                            label_set(entry, &[("le", &le)]),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum{} {}", entry.name, label_set(entry, &[]), sum);
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        entry.name,
+                        label_set(entry, &[]),
+                        count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonical JSON dump: schema-tagged, sorted by (name, labels),
+    /// fixed key order, integral values only — byte-stable for a given
+    /// registry state.
+    pub fn render_json(&self, stable_only: bool) -> String {
+        let entries = self.snapshot_entries(stable_only);
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", METRICS_JSON_SCHEMA);
+        out.push_str("  \"metrics\": [\n");
+        for (i, entry) in entries.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"name\": {}, \"kind\": \"{}\", \"stability\": \"{}\", \"labels\": {{",
+                json_string(entry.name),
+                entry.kind().label(),
+                entry.stability.label()
+            );
+            for (j, (k, v)) in entry.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(k), json_string(v));
+            }
+            out.push('}');
+            match entry.sample() {
+                crate::Sample::Counter(v) | crate::Sample::Gauge(v) => {
+                    let _ = write!(out, ", \"value\": {v}");
+                }
+                crate::Sample::Histogram {
+                    count,
+                    sum,
+                    bounds,
+                    buckets,
+                } => {
+                    let _ = write!(out, ", \"count\": {count}, \"sum\": {sum}, \"buckets\": [");
+                    let mut cum = 0u64;
+                    for (idx, bucket) in buckets.iter().enumerate() {
+                        if idx > 0 {
+                            out.push_str(", ");
+                        }
+                        cum += bucket;
+                        let le = bounds
+                            .get(idx)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+Inf".to_string());
+                        let _ = write!(out, "{{\"le\": {}, \"count\": {cum}}}", json_string(&le));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+            if i + 1 < entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn label_set(entry: &Entry, extra: &[(&str, &str)]) -> String {
+    if entry.labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<(&str, &str)> = entry
+        .labels
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .chain(extra.iter().copied())
+        .collect();
+    pairs.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}=\"{}\"",
+            k,
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MetricsRegistry, Stability};
+
+    #[test]
+    fn prometheus_render_is_sorted_and_complete() {
+        let registry = MetricsRegistry::new();
+        let b = registry.counter_with("z_total", "z help", Stability::Stable, &[("kind", "b")]);
+        let a = registry.counter_with("z_total", "z help", Stability::Stable, &[("kind", "a")]);
+        let g = registry.gauge("a_now", "a help", Stability::Stable);
+        a.add(1);
+        b.add(2);
+        g.set(7);
+        let text = registry.render_prometheus(false);
+        let expected = "# HELP a_now a help\n\
+                        # TYPE a_now gauge\n\
+                        a_now 7\n\
+                        # HELP z_total z help\n\
+                        # TYPE z_total counter\n\
+                        z_total{kind=\"a\"} 1\n\
+                        z_total{kind=\"b\"} 2\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histogram_render_is_cumulative_with_inf() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat_micros", "latency", Stability::Volatile, &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        let text = registry.render_prometheus(false);
+        assert!(text.contains("lat_micros_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("lat_micros_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_micros_sum 5055\n"));
+        assert!(text.contains("lat_micros_count 3\n"));
+    }
+
+    #[test]
+    fn json_render_is_canonical() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("one_total", "counts", Stability::Stable);
+        c.add(3);
+        let json = registry.render_json(false);
+        assert!(json.starts_with("{\n  \"schema\": \"quicsand.metrics/v1\","));
+        assert!(json.contains(
+            "{\"name\": \"one_total\", \"kind\": \"counter\", \"stability\": \"stable\", \
+             \"labels\": {}, \"value\": 3}"
+        ));
+        // Rendering twice is byte-identical.
+        assert_eq!(json, registry.render_json(false));
+    }
+}

@@ -22,10 +22,12 @@
 
 pub mod cdf;
 pub mod dos;
+pub mod metrics;
 pub mod multivector;
 pub mod session;
 
 pub use cdf::Cdf;
 pub use dos::{detect_attacks, Attack, DosThresholds};
+pub use metrics::{DosMetrics, SessionMetrics};
 pub use multivector::{classify_multivector, MultiVectorClass, MultiVectorReport};
-pub use session::{Session, SessionConfig, Sessionizer};
+pub use session::{Session, SessionConfig, Sessionizer, SessionizerCounters};

@@ -128,6 +128,39 @@ pub struct Sessionizer {
     /// High-water mark of `open.len()` — surfaced in pipeline stats to
     /// verify the memory bound.
     peak_open: usize,
+    /// Cumulative lifecycle counters, the sessionizer's contribution to
+    /// the metrics layer.
+    counters: SessionizerCounters,
+}
+
+/// Cumulative session-lifecycle counts over a [`Sessionizer`]'s life.
+///
+/// `opened` counts every fresh open-session insert (first packet of a
+/// source, or the packet after a timeout gap); `closed` counts every
+/// close the sessionizer has *buffered so far* — gap closes and idle
+/// expiries, but not the final flush, which [`Sessionizer::finish`]
+/// performs while consuming the sessionizer. Callers wanting totals
+/// read [`Sessionizer::counters`] and [`Sessionizer::open_count`]
+/// immediately before `finish()`: `closed + open_count` is the final
+/// session count, and equals `opened`. `expired` is the subset of
+/// `closed` released by the watermark sweep rather than a gap close.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionizerCounters {
+    /// Open-session inserts.
+    pub opened: u64,
+    /// Sessions moved to the closed buffer (gap closes + expiries).
+    pub closed: u64,
+    /// Sessions closed by the idle sweep ([`Sessionizer::expire`]).
+    pub expired: u64,
+}
+
+impl SessionizerCounters {
+    /// Field-wise sum, for aggregating several sessionizers.
+    pub fn merge(&mut self, other: &SessionizerCounters) {
+        self.opened += other.opened;
+        self.closed += other.closed;
+        self.expired += other.expired;
+    }
 }
 
 impl Sessionizer {
@@ -140,6 +173,7 @@ impl Sessionizer {
             last_ts: Timestamp::EPOCH,
             last_sweep: Timestamp::EPOCH,
             peak_open: 0,
+            counters: SessionizerCounters::default(),
         }
     }
 
@@ -191,6 +225,8 @@ impl Sessionizer {
                     },
                 );
                 self.closed.push(closed.close(src));
+                self.counters.opened += 1;
+                self.counters.closed += 1;
             }
             None => {
                 self.open.insert(
@@ -202,6 +238,7 @@ impl Sessionizer {
                         minute_counts: HashMap::from([(minute, 1)]),
                     },
                 );
+                self.counters.opened += 1;
             }
         }
         if self.open.len() > self.peak_open {
@@ -242,6 +279,8 @@ impl Sessionizer {
         for src in expired {
             let open = self.open.remove(&src).expect("expired source is open");
             self.closed.push(open.close(src));
+            self.counters.closed += 1;
+            self.counters.expired += 1;
         }
         self.last_sweep = now;
     }
@@ -283,6 +322,12 @@ impl Sessionizer {
     /// [`Sessionizer::drain`] would return at minimum).
     pub fn closed_count(&self) -> usize {
         self.closed.len()
+    }
+
+    /// Cumulative lifecycle counters so far (see
+    /// [`SessionizerCounters`] for the finish-flush caveat).
+    pub fn counters(&self) -> SessionizerCounters {
+        self.counters
     }
 }
 

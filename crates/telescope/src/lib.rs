@@ -18,11 +18,13 @@
 
 pub mod binning;
 pub mod filter;
+pub mod metrics;
 pub mod parallel;
 pub mod pipeline;
 
 pub use binning::HourlySeries;
 pub use filter::ResearchFilter;
+pub use metrics::{IngestMetrics, QuarantineMetrics, StageMetrics};
 pub use parallel::{ingest_parallel, ingest_parallel_with, shard_of};
 pub use pipeline::{
     record_hash, Admitted, GuardConfig, IngestError, IngestStats, PipelineSnapshot, PipelineStats,

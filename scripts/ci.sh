@@ -1,13 +1,44 @@
 #!/usr/bin/env bash
 # Offline CI gate: build, test, format, lint.
 #
-#   scripts/ci.sh           # everything (what a PR must pass)
-#   scripts/ci.sh --quick   # skip the release build, run debug tests only
+#   scripts/ci.sh              # everything (what a PR must pass)
+#   scripts/ci.sh --quick      # skip the release build, run debug tests only
+#   scripts/ci.sh bench-smoke  # only the benchmark-regression gate
 #
 # The repo vendors all third-party dependencies (vendor/), so this runs
 # without network access.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke() {
+  # Benchmark-regression gate: run the two bench binaries on the small
+  # deterministic workload, validate the schema of the fresh
+  # BENCH_*.json reports, and compare them against the committed
+  # baselines (default tolerance 20%; QUICSAND_BENCH_TOLERANCE
+  # overrides, QUICSAND_BENCH_SKIP_COMPARE=1 validates schema only —
+  # for hosts not comparable to the baseline machine).
+  echo "==> bench-smoke: BENCH_*.json regression gate"
+  local bench_dir
+  bench_dir="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$bench_dir'" RETURN
+  for bench in shard_scaling live_throughput; do
+    QUICSAND_SCALE=test QUICSAND_BENCH_DIR="$bench_dir" \
+      cargo run -q --release -p quicsand-bench --bin "$bench" >/dev/null
+    cargo run -q --release -p quicsand-bench --bin bench_compare -- \
+      --validate "BENCH_$bench.json" "$bench_dir/BENCH_$bench.json"
+    if [[ "${QUICSAND_BENCH_SKIP_COMPARE:-0}" != "1" ]]; then
+      cargo run -q --release -p quicsand-bench --bin bench_compare -- \
+        --baseline "BENCH_$bench.json" --current "$bench_dir/BENCH_$bench.json"
+    fi
+  done
+  echo "bench-smoke: baselines validated, no regression beyond tolerance — OK"
+}
+
+if [[ "${1:-}" == "bench-smoke" ]]; then
+  bench_smoke
+  exit 0
+fi
 
 quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
@@ -74,5 +105,26 @@ echo "$live_out" | grep -E '^live: .* checkpoint\(s\) verified$' | grep -qv ' 0 
 }
 closes="$(echo "$live_out" | grep -c ' CLOSE ')"
 echo "live-smoke: $closes closed alert(s), checkpoints verified, exit 0 — OK"
+
+echo "==> metrics-smoke: exposition + reconciliation on the same capture"
+# `quicsand metrics` re-runs the pipeline with the exported counters
+# verified against the stats structs (a mismatch exits nonzero), and
+# the Prometheus rendering must carry the core families.
+metrics_out="$(cargo run -q $profile_flag -- metrics "$smoke_dir/smoke.qscp" \
+  --scale test --seed 7 --threads 2 2>/dev/null)"
+for family in quicsand_ingest_records_total quicsand_detect_attacks_total \
+              quicsand_sessions_opened_total quicsand_stage_walltime_micros; do
+  echo "$metrics_out" | grep -q "^$family" || {
+    echo "metrics-smoke: family $family missing from exposition" >&2
+    exit 1
+  }
+done
+echo "metrics-smoke: exposition complete, counters reconcile, exit 0 — OK"
+
+if [[ $quick -eq 0 ]]; then
+  bench_smoke
+else
+  echo "==> bench-smoke skipped (--quick)"
+fi
 
 echo "CI green."

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&args[1..]),
         "experiments" => cmd_experiments(&args[1..]),
         "export" => cmd_export(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -54,6 +55,7 @@ USAGE:
 
     quicsand analyze <file.qscp> [--threads N] [--verbose]
                      [--fault-profile none|standard|aggressive] [--fault-seed N]
+                     [--metrics-out <file>]
         Run the sessionization + DoS-inference pipeline on a capture.
         --threads shards ingest+sessionization by source across N
         workers (default: all cores); results are identical at any N.
@@ -62,11 +64,23 @@ USAGE:
         (truncation, corrupt versions, duplicates, clock skew, ...)
         into the record stream before ingest, to exercise the
         quarantine path; --fault-seed varies the mix (default 0xF4017).
+        --metrics-out writes the full metrics registry (counters,
+        gauges, histograms — including volatile walltimes) as
+        canonical JSON after verifying it reconciles with the
+        pipeline's stats.
+
+    quicsand metrics <file.qscp> [--format prometheus|json] [--threads N]
+                     [--fault-profile ...] [--fault-seed N] [--stable-only]
+        Run the same pipeline and print only the metrics registry to
+        stdout — Prometheus text exposition by default, canonical JSON
+        with --format json. --stable-only drops volatile series
+        (walltimes, thread counts), leaving exactly the
+        trace-deterministic subset.
 
     quicsand live <file.qscp> [--window MINS] [--weight W] [--escalate W]
                   [--shards N] [--chunk N] [--max-victims N]
                   [--checkpoint-every N] [--alert-format text|json]
-                  [--verbose]
+                  [--metrics-out <file>] [--verbose]
         Stream the capture through the live flood-detection engine and
         print alert lifecycle events (OPEN / ESCALATE / CLOSE /
         RECLASSIFY) as they fire. --window sets the sessionization
@@ -77,6 +91,9 @@ USAGE:
         --checkpoint-every N snapshots the engine every N records,
         round-trips it through JSON, and resumes from the restored
         copy — proving the checkpoint is lossless mid-run.
+        --metrics-out writes the engine's metrics registry as
+        canonical JSON after the run (stable series survive
+        checkpoint/restore unchanged).
 
     quicsand replay --pps <rate> [--requests N] [--workers N]
                     [--retry | --adaptive <occupancy>]
@@ -211,11 +228,16 @@ fn positional(args: &[String]) -> Option<&String> {
         .map(|(_, a)| a)
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
+/// Loads the capture at the positional path, applies any requested
+/// fault plan, runs the batch pipeline, and verifies that the exported
+/// metrics reconcile with the pipeline stats — shared by `analyze` and
+/// `metrics`. Progress goes to stderr so stdout stays clean for the
+/// caller's own output.
+fn run_pipeline(args: &[String], command: &str) -> Result<Analysis, String> {
     // Validate flags before touching the filesystem.
     let mut analysis_cfg = analysis_config(args)?;
     let plan = fault_plan(args)?;
-    let path = positional(args).ok_or("analyze requires a capture path")?;
+    let path = positional(args).ok_or(format!("{command} requires a capture path"))?;
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let reader =
         CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
@@ -276,6 +298,31 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         config,
     };
     let analysis = Analysis::run(&scenario, &analysis_cfg);
+    // Hard invariant: every exported counter equals the corresponding
+    // stats field, at any thread count. A mismatch is a bug, not noise.
+    analysis
+        .verify_metrics()
+        .map_err(|e| format!("metrics reconciliation failed: {}", e.join("; ")))?;
+    Ok(analysis)
+}
+
+/// Writes the full (volatile included) canonical-JSON metrics dump when
+/// `--metrics-out <file>` was given.
+fn write_metrics_out(
+    args: &[String],
+    registry: &quicsand_obs::MetricsRegistry,
+) -> Result<(), String> {
+    if let Some(out) = flag_value(args, "--metrics-out")? {
+        std::fs::write(out, registry.render_json(false))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("metrics written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let analysis = run_pipeline(args, "analyze")?;
+    write_metrics_out(args, &analysis.registry)?;
 
     let stats = &analysis.ingest;
     println!(
@@ -345,6 +392,19 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         analysis.multivector.share(MultiVectorClass::Isolated) * 100.0,
         analysis.quic_attacks.len()
     );
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let stable_only = has_flag(args, "--stable-only");
+    let format = flag_value(args, "--format")?.unwrap_or("prometheus");
+    let analysis = run_pipeline(args, "metrics")?;
+    let rendered = match format {
+        "prometheus" => analysis.registry.render_prometheus(stable_only),
+        "json" => analysis.registry.render_json(stable_only),
+        other => return Err(format!("unknown --format `{other}` (want prometheus|json)")),
+    };
+    print!("{rendered}");
     Ok(())
 }
 
@@ -439,6 +499,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
 
     let mut since_checkpoint: u64 = 0;
     let mut checkpoints: u64 = 0;
+    let mut checkpoint_bytes: u64 = 0;
     loop {
         let records = reader
             .pull_chunk(chunk)
@@ -469,6 +530,16 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
             }
             engine = restored;
             checkpoints += 1;
+            checkpoint_bytes += encoded.len() as u64;
+            // restore() rebuilds the registry from the snapshot, which
+            // carries no checkpoint telemetry — re-seed the cumulative
+            // totals so the exported counters cover the whole run, not
+            // just the stretch since the last resume.
+            engine.metrics().checkpoints_total.add(checkpoints);
+            engine
+                .metrics()
+                .checkpoint_bytes_total
+                .add(checkpoint_bytes);
             since_checkpoint = 0;
             if verbose {
                 eprintln!(
@@ -483,6 +554,12 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     for event in engine.finish() {
         emit(&event);
     }
+    // Hard invariant: live counters reconcile with the merged detector
+    // stats at this (finished) sync point.
+    engine
+        .verify_metrics()
+        .map_err(|e| format!("live metrics reconciliation failed: {}", e.join("; ")))?;
+    write_metrics_out(args, engine.registry())?;
 
     let stats = engine.live_stats();
     let ingest = engine.ingest_stats();

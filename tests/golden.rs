@@ -100,6 +100,70 @@ fn figures_match_golden_snapshots() {
     );
 }
 
+/// Compares raw rendered text against a named snapshot file, with the
+/// same `UPDATE_GOLDEN=1` re-bless flow as the report snapshots.
+fn check_text(name: &str, rendered: &str) -> Result<(), String> {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, rendered).expect("write snapshot");
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "{name}: missing snapshot {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden`",
+            path.display()
+        )
+    })?;
+    if rendered != expected {
+        let diff_line = rendered
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("first diff at line {}: got `{a}`, want `{b}`", i + 1))
+            .unwrap_or_else(|| "snapshots differ in length".to_string());
+        return Err(format!(
+            "{name}: drift against {} — {diff_line}\n  \
+             (re-bless with `UPDATE_GOLDEN=1 cargo test --test golden` if intentional)",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+/// The *stable* metric exposition (Prometheus text and canonical JSON)
+/// for the seeded end-to-end scenario must match its checked-in
+/// snapshots byte for byte. Volatile series (walltimes, thread counts,
+/// peaks, checkpoint volume) are excluded — everything in these files
+/// is a pure function of the trace, so drift means a behavior change
+/// in classification, sessionization or detection.
+#[test]
+fn metrics_exposition_matches_golden_snapshots() {
+    let scenario = Scenario::generate(&ScenarioConfig::test());
+    let analysis = Analysis::run(
+        &scenario,
+        &AnalysisConfig {
+            threads: 1,
+            ..AnalysisConfig::default()
+        },
+    );
+    analysis.verify_metrics().expect("metrics reconcile");
+
+    let drifted: Vec<String> = [
+        check_text("metrics.prom", &analysis.registry.render_prometheus(true)).err(),
+        check_text("metrics.json", &analysis.registry.render_json(true)).err(),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        drifted.is_empty(),
+        "metrics golden drift:\n{}",
+        drifted.join("\n")
+    );
+}
+
 /// Table 1 (server resiliency replay) at the standard sub-sampled
 /// scale must match its snapshot: the replay model is seeded, so any
 /// drift is a behavior change in the server model, not noise.

@@ -8,9 +8,11 @@
 use quicsand_dissect::Direction;
 use quicsand_live::{LiveConfig, LiveEngine, LiveEvent, LiveEventKind, LiveSnapshot};
 use quicsand_net::{Duration, PacketRecord, TcpFlags, Timestamp};
+use quicsand_obs::{Histogram, MetricsRegistry};
 use quicsand_sessions::dos::AttackProtocol;
 use quicsand_sessions::{
-    classify_multivector, detect_attacks, Attack, MultiVectorClass, SessionConfig, Sessionizer,
+    classify_multivector, detect_attacks, Attack, DosMetrics, MultiVectorClass, SessionConfig,
+    Sessionizer,
 };
 use quicsand_telescope::{Admitted, GuardConfig, TelescopePipeline};
 use quicsand_traffic::{Scenario, ScenarioConfig};
@@ -221,6 +223,146 @@ fn json_checkpoint_resume_emits_identical_alerts() {
     assert_eq!(engine.closed_common(), straight.closed_common());
     assert_eq!(engine.live_stats(), straight.live_stats());
     assert_eq!(engine.ingest_stats(), straight.ingest_stats());
+}
+
+/// Asserts a live/batch histogram pair agrees on its full distribution
+/// state: observation count, sum, and every bucket count.
+fn assert_hist_eq(live: &Histogram, batch: &Histogram, name: &str, context: &str) {
+    assert_eq!(
+        live.count(),
+        batch.count(),
+        "{name} count diverged: {context}"
+    );
+    assert_eq!(live.sum(), batch.sum(), "{name} sum diverged: {context}");
+    assert_eq!(
+        live.bucket_counts(),
+        batch.bucket_counts(),
+        "{name} buckets diverged: {context}"
+    );
+}
+
+/// Asserts the engine's exported metrics equal the batch reference's:
+/// the closed-alert counter matches the batch attack count, and every
+/// `DosMetrics` series (counters and histograms, both protocol labels)
+/// is identical to a registry fed the batch detection output. Also
+/// re-checks the engine's own reconciliation invariant first, so a
+/// divergence here is live-vs-batch, not counter drift.
+fn assert_metrics_match_batch(
+    engine: &mut LiveEngine,
+    batch_quic: &[Attack],
+    batch_common: &[Attack],
+    context: &str,
+) {
+    engine.verify_metrics().unwrap_or_else(|errors| {
+        panic!(
+            "metrics reconciliation failed ({context}): {}",
+            errors.join("; ")
+        )
+    });
+    let expected_closed = (batch_quic.len() + batch_common.len()) as u64;
+    assert_eq!(
+        engine.metrics().closed.get(),
+        expected_closed,
+        "closed-alert counter diverged from batch attack count: {context}"
+    );
+
+    let registry = MetricsRegistry::new();
+    let reference = DosMetrics::register(&registry);
+    reference.observe_attacks(batch_quic);
+    reference.observe_attacks(batch_common);
+    let live = &engine.metrics().dos;
+    assert_eq!(
+        live.attacks_quic.get(),
+        reference.attacks_quic.get(),
+        "quic attack counter diverged: {context}"
+    );
+    assert_eq!(
+        live.attacks_common.get(),
+        reference.attacks_common.get(),
+        "common attack counter diverged: {context}"
+    );
+    assert_hist_eq(
+        &live.duration_quic,
+        &reference.duration_quic,
+        "attack_duration{protocol=quic}",
+        context,
+    );
+    assert_hist_eq(
+        &live.duration_common,
+        &reference.duration_common,
+        "attack_duration{protocol=tcp_icmp}",
+        context,
+    );
+    assert_hist_eq(
+        &live.packets_quic,
+        &reference.packets_quic,
+        "attack_packets{protocol=quic}",
+        context,
+    );
+    assert_hist_eq(
+        &live.packets_common,
+        &reference.packets_common,
+        "attack_packets{protocol=tcp_icmp}",
+        context,
+    );
+}
+
+/// Live and batch share the `quicsand_detect_attacks_total` /
+/// `quicsand_attack_*` metric families, so their exported values must
+/// be *identical* for the same trace — counter for counter, bucket for
+/// bucket — at any shard count, and equally after the engine has been
+/// serialized, dropped, and rebuilt from JSON checkpoints mid-stream
+/// (restore re-seeds its fresh registry from the snapshot's closed
+/// sets, so stable metrics land exactly where an uninterrupted run's
+/// would).
+#[test]
+fn live_metrics_equal_batch_metrics_including_across_checkpoints() {
+    let mut records = scenario_records();
+    records.truncate(60_000);
+    let guard = GuardConfig::default();
+    let config = live_config(&guard);
+    let (batch_quic, batch_common, _) = batch_reference(&records, guard, &config);
+    assert!(
+        !batch_quic.is_empty() && !batch_common.is_empty(),
+        "trace must close attacks on both channels"
+    );
+
+    for shards in [1usize, 2] {
+        let (_, mut engine) = live_run(&records, guard, config, shards, 1024);
+        assert_metrics_match_batch(
+            &mut engine,
+            &batch_quic,
+            &batch_common,
+            &format!("straight run, shards={shards}"),
+        );
+    }
+
+    // Same stream with a JSON checkpoint/restore cycle every 15k
+    // records, mirroring the `quicsand live --checkpoint-every` flow.
+    let mut engine = LiveEngine::new(config, guard, 2);
+    let mut since = 0usize;
+    for part in records.chunks(1024) {
+        let _ = engine.offer_chunk(part);
+        since += part.len();
+        if since >= 15_000 {
+            since = 0;
+            let json = serde_json::to_string(&engine.snapshot()).expect("snapshot serializes");
+            let parsed: LiveSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+            engine = LiveEngine::restore(&parsed);
+            engine.record_checkpoint(json.len() as u64);
+        }
+    }
+    let _ = engine.finish();
+    assert!(
+        engine.metrics().checkpoints_total.get() > 0,
+        "checkpoint cadence never fired"
+    );
+    assert_metrics_match_batch(
+        &mut engine,
+        &batch_quic,
+        &batch_common,
+        "checkpoint/restore every 15k records",
+    );
 }
 
 #[test]

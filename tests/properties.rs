@@ -3,11 +3,15 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
+use quicsand_core::{Analysis, AnalysisConfig};
 use quicsand_faults::{FaultPlan, FaultProfile};
 use quicsand_net::{Duration, IcmpKind, PacketRecord, TcpFlags, Timestamp};
+use quicsand_obs::MetricsRegistry;
 use quicsand_sessions::dos::{detect_attacks, AttackProtocol, DosThresholds};
 use quicsand_sessions::session::{sessionize, timeout_sweep, SessionConfig, Sessionizer};
-use quicsand_telescope::{ingest_parallel_with, shard_of, IngestStats, TelescopePipeline};
+use quicsand_telescope::{
+    ingest_parallel_with, shard_of, IngestMetrics, IngestStats, TelescopePipeline,
+};
 use quicsand_wire::crypto::InitialSecrets;
 use quicsand_wire::packet::{parse_datagram, Packet, PacketPayload};
 use quicsand_wire::{ConnectionId, Frame, Version};
@@ -75,6 +79,76 @@ fn fault_quarantine_oracle_is_exact_across_shard_counts() {
         );
         assert_eq!(baseline, single.1, "baseline differs at {threads} shards");
         assert_eq!(stats, single.2, "stats differ at {threads} shards");
+    }
+}
+
+/// The metric⇄stats reconciliation invariant over a faulted ≥20k-record
+/// stream: every obs counter published from `IngestStats` (and, through
+/// the full pipeline, every session/attack counter) equals the
+/// corresponding stats field — exactly, at 1, 2 and 8 shards — and the
+/// *stable* metric subset is byte-identical across shard counts.
+#[test]
+fn metrics_reconcile_with_stats_across_shard_counts() {
+    let mut scenario =
+        quicsand_traffic::Scenario::generate(&quicsand_traffic::ScenarioConfig::test());
+    let clean: Vec<PacketRecord> = scenario.records.iter().take(20_000).cloned().collect();
+    let profile = FaultProfile::standard();
+    let guard = profile.guard;
+    let mut plan = FaultPlan::new(profile, 0xFA57);
+    let faulted = plan.apply_all(&clean);
+    assert!(plan.summary().total_injected() > 0, "profile must inject");
+
+    // (a) Ingest layer: a fresh registry fed the merged stats must
+    // reconcile field for field at every shard count, and the rendered
+    // exposition must agree byte for byte across shard counts.
+    let mut rendered: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let (_, _, stats) = ingest_parallel_with(&faulted, threads, guard);
+        let registry = MetricsRegistry::new();
+        let metrics = IngestMetrics::register(&registry);
+        metrics.add_stats(&stats);
+        metrics
+            .verify(&stats)
+            .unwrap_or_else(|e| panic!("{threads} shard(s): {e:?}"));
+        let text = registry.render_prometheus(false);
+        match &rendered {
+            None => rendered = Some(text),
+            Some(reference) => assert_eq!(
+                &text, reference,
+                "ingest exposition differs at {threads} shard(s)"
+            ),
+        }
+    }
+
+    // (b) Whole pipeline on the faulted capture: every family
+    // reconciles (`verify_metrics` is exhaustive) and the stable metric
+    // subset — counters and attack histograms, not walltimes — is
+    // byte-identical at any thread count.
+    scenario.records = faulted;
+    let run = |threads: usize| {
+        Analysis::run(
+            &scenario,
+            &AnalysisConfig {
+                threads,
+                guard,
+                ..AnalysisConfig::default()
+            },
+        )
+    };
+    let reference = run(1);
+    reference.verify_metrics().expect("1-thread reconciliation");
+    let stable = reference.registry.render_prometheus(true);
+    assert!(stable.contains("quicsand_ingest_quarantined_total"));
+    for threads in [2usize, 8] {
+        let analysis = run(threads);
+        analysis
+            .verify_metrics()
+            .unwrap_or_else(|e| panic!("{threads} thread(s): {e:?}"));
+        assert_eq!(
+            analysis.registry.render_prometheus(true),
+            stable,
+            "stable metrics differ at {threads} thread(s)"
+        );
     }
 }
 
