@@ -3,11 +3,17 @@
 //! ```text
 //! bench_compare --validate FILE [FILE...]
 //! bench_compare --baseline BENCH_x.json --current fresh.json [--tolerance 0.2]
+//!               [--ingest-floor-rps N]
 //! ```
 //!
 //! Exit status is non-zero on schema violations or regressions beyond
 //! the tolerance (default 20%, `QUICSAND_BENCH_TOLERANCE` overridable).
-//! See `quicsand_bench::report` for the gating policy.
+//! `--ingest-floor-rps` additionally enforces an absolute floor on the
+//! ingest-stage throughput implied by the *current* report (records /
+//! median ingest walltime) — the zero-copy decode path must not slide
+//! back toward the per-record copying numbers no matter what the
+//! relative tolerance would forgive. See `quicsand_bench::report` for
+//! the gating policy.
 
 use quicsand_bench::{tolerance_from_env, BenchReport};
 use std::path::Path;
@@ -64,6 +70,16 @@ fn run(args: &[String]) -> Result<String, String> {
         None => tolerance_from_env(),
     };
 
+    let ingest_floor = match value("--ingest-floor-rps")? {
+        Some(f) => Some(
+            f.parse::<f64>()
+                .ok()
+                .filter(|f| f.is_finite() && *f > 0.0)
+                .ok_or(format!("invalid --ingest-floor-rps `{f}`"))?,
+        ),
+        None => None,
+    };
+
     let baseline = BenchReport::load(Path::new(baseline))?;
     let current = BenchReport::load(Path::new(current))?;
     BenchReport::compare(&baseline, &current, tolerance).map_err(|errors| {
@@ -74,6 +90,19 @@ fn run(args: &[String]) -> Result<String, String> {
             errors.join("\n  ")
         )
     })?;
+    if let Some(floor) = ingest_floor {
+        let rps = current
+            .ingest_stage_rps()
+            .ok_or("--ingest-floor-rps given but the current report has no ingest-stage sample")?;
+        if rps < floor {
+            return Err(format!(
+                "ingest-stage floor violated: {rps:.0} rec/s < required {floor:.0} \
+                 (median ingest walltime {:.1} ms over {} records)",
+                current.p50_stage_latency_ms["ingest"], current.records
+            ));
+        }
+        eprintln!("ingest-stage floor: {rps:.0} rec/s >= {floor:.0} — ok");
+    }
     Ok(format!(
         "{}: ok — {:.0} rec/s vs baseline {:.0} ({:+.1}%), peak {} vs {} (tolerance {:.0}%)",
         current.name,

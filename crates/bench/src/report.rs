@@ -136,6 +136,20 @@ impl BenchReport {
         }
     }
 
+    /// Effective ingest-stage throughput implied by the report: the
+    /// records of the run divided by the median ingest walltime. This
+    /// is the number the zero-copy decode path is gated on — unlike
+    /// end-to-end `throughput_rps` it isolates the capture→admission
+    /// stage from sessionization and detection. `None` when the report
+    /// carries no ingest-stage sample.
+    pub fn ingest_stage_rps(&self) -> Option<f64> {
+        let p50_ms = self.p50_stage_latency_ms.get("ingest").copied()?;
+        if !(p50_ms.is_finite() && p50_ms > 0.0) {
+            return None;
+        }
+        Some(self.records as f64 / (p50_ms / 1_000.0))
+    }
+
     /// Compares `current` against the committed `baseline`: fails when
     /// throughput drops below `1 - tolerance` of the baseline or peak
     /// sessions grow beyond `1 + tolerance`. Returns human-readable

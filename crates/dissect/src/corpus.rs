@@ -1,0 +1,308 @@
+//! The shared adversarial dissection corpus.
+//!
+//! Hand-crafted hostile payloads of the kind a darknet actually receives
+//! — truncations at every field boundary, oversized CID lengths,
+//! reserved-bit violations, bogus versions — each annotated with the
+//! *typed error* (or success) it must dissect to. The corpus backs two
+//! test suites: the dissector's own typed-error conformance test, and
+//! the capture-layer differential test that replays every entry through
+//! both the legacy copying reader and the zero-copy decoder.
+
+/// What a corpus entry must dissect to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusExpect {
+    /// Must parse successfully.
+    Ok,
+    /// Must be rejected as an empty payload.
+    Empty,
+    /// Must be rejected as truncated.
+    Truncated,
+    /// Must be rejected with exactly this unknown version.
+    BadVersion(u32),
+    /// Must be rejected with exactly this oversized CID length.
+    BadCid(usize),
+    /// Must be rejected as structurally non-QUIC.
+    NotQuic,
+    /// Must be rejected, kind unconstrained (structurally ambiguous
+    /// inputs where the exact classification is an implementation
+    /// detail — but success would be a bug).
+    AnyErr,
+}
+
+/// One adversarial payload with its expected dissection outcome.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Human-readable description of the malformation.
+    pub name: &'static str,
+    /// The hostile UDP payload.
+    pub payload: Vec<u8>,
+    /// The outcome [`crate::dissect_udp_payload`] must produce.
+    pub expect: CorpusExpect,
+}
+
+/// A structurally valid, hand-crafted Initial: long form + fixed bit,
+/// version 1, empty CIDs, empty token, 5-byte protected payload.
+fn minimal_initial() -> Vec<u8> {
+    vec![
+        0xc0, // long | fixed | type=Initial | pn_len=1
+        0x00, 0x00, 0x00, 0x01, // version 1
+        0x00, // dcid len
+        0x00, // scid len
+        0x00, // token length (varint)
+        0x05, // length (varint)
+        0x01, 0x02, 0x03, 0x04, 0x05, // pn + protected payload
+    ]
+}
+
+/// An Initial with both connection IDs at the 20-byte maximum.
+fn max_cid_initial(cut_dcid_short: bool) -> Vec<u8> {
+    let mut wire = vec![0xc0, 0x00, 0x00, 0x00, 0x01];
+    wire.push(20);
+    wire.extend_from_slice(&[0x5A; 20][..if cut_dcid_short { 19 } else { 20 }]);
+    if cut_dcid_short {
+        return wire; // ends inside the DCID
+    }
+    wire.push(20);
+    wire.extend_from_slice(&[0xA5; 20]);
+    wire.extend_from_slice(&[0x00, 0x01, 0x09]); // token len, length, pn
+    wire
+}
+
+/// A structurally valid Retry: version 1, empty CIDs, 3-byte token,
+/// 16-byte integrity tag.
+fn minimal_retry(tag_bytes: usize) -> Vec<u8> {
+    let mut wire = vec![0xf0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00];
+    wire.extend_from_slice(b"tok");
+    wire.extend_from_slice(&vec![0xEE; tag_bytes]);
+    wire
+}
+
+/// The full adversarial corpus (33 entries).
+pub fn adversarial_corpus() -> Vec<CorpusEntry> {
+    use CorpusExpect as E;
+    let entry = |name, payload, expect| CorpusEntry {
+        name,
+        payload,
+        expect,
+    };
+    vec![
+        // --- degenerate inputs ------------------------------------
+        entry("empty payload", vec![], E::Empty),
+        entry("single zero byte", vec![0x00], E::NotQuic),
+        entry("all zeros", vec![0u8; 64], E::NotQuic),
+        entry(
+            "dns-ish payload, fixed bit unset",
+            vec![0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00],
+            E::NotQuic,
+        ),
+        entry(
+            "ascii shebang garbage",
+            b"#!garbage shell script".to_vec(),
+            E::NotQuic,
+        ),
+        // --- short-header edge cases ------------------------------
+        entry("short form, no dcid", vec![0x40], E::Truncated),
+        entry(
+            "short form, dcid cut at 3 of 8 bytes",
+            vec![0x40, 0x01, 0x02, 0x03],
+            E::Truncated,
+        ),
+        entry(
+            "short form, dcid but no packet number",
+            vec![0x40, 1, 2, 3, 4, 5, 6, 7, 8],
+            E::AnyErr,
+        ),
+        entry(
+            "plausible 1-RTT packet",
+            vec![0x43, 1, 2, 3, 4, 5, 6, 7, 8, 0xAA, 0xBB, 0xCC, 0xDD],
+            E::Ok,
+        ),
+        // --- long-header reserved-bit violations ------------------
+        entry(
+            "long form, fixed bit clear, version 1",
+            vec![0x80, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00],
+            E::NotQuic,
+        ),
+        // --- long-header truncations at every field boundary ------
+        entry("long form, version missing", vec![0xc0], E::Truncated),
+        entry(
+            "long form, version cut at 3 of 4 bytes",
+            vec![0xc0, 0x00, 0x00, 0x00],
+            E::Truncated,
+        ),
+        entry(
+            "long form, dcid length byte missing",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01],
+            E::Truncated,
+        ),
+        entry(
+            "dcid declares 8, carries 4",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x08, 1, 2, 3, 4],
+            E::Truncated,
+        ),
+        entry(
+            "scid length byte missing",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00],
+            E::Truncated,
+        ),
+        entry(
+            "initial token varint declares 16383, carries none",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x7f, 0xff],
+            E::Truncated,
+        ),
+        entry(
+            "initial length field missing",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00],
+            E::Truncated,
+        ),
+        entry(
+            "length declares 0x30, carries 2",
+            vec![
+                0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x30, 0xAA, 0xBB,
+            ],
+            E::Truncated,
+        ),
+        entry(
+            // The Retry token is not self-describing, so a cut is only
+            // detectable once fewer than 16 tag bytes remain.
+            "retry with 15 bytes where the 16-byte tag belongs",
+            vec![
+                0xf0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, // header, empty cids
+                0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, // 15 of 16
+                0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE,
+            ],
+            E::Truncated,
+        ),
+        entry(
+            "max-cid initial cut inside the dcid",
+            max_cid_initial(true),
+            E::Truncated,
+        ),
+        // --- version-field hostility ------------------------------
+        entry(
+            "unknown version 0xdeadbeef",
+            {
+                let mut wire = minimal_initial();
+                wire[1..5].copy_from_slice(&0xdeadbeef_u32.to_be_bytes());
+                wire
+            },
+            E::BadVersion(0xdeadbeef),
+        ),
+        entry(
+            // Structural parsing runs before version semantics: the
+            // 0xFF DCID-length byte is rejected before the unknown
+            // version 0xffffffff is even considered.
+            "all-ones packet (oversized cid wins over bad version)",
+            vec![0xFF; 1200],
+            E::BadCid(255),
+        ),
+        entry(
+            "grease version 0x1a2a3a4a accepted",
+            {
+                let mut wire = minimal_initial();
+                wire[1..5].copy_from_slice(&0x1a2a3a4a_u32.to_be_bytes());
+                wire
+            },
+            E::Ok,
+        ),
+        // --- CID length hostility ---------------------------------
+        entry(
+            "dcid length 21 (one past the RFC max)",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x15],
+            E::BadCid(21),
+        ),
+        entry(
+            "dcid length 255",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0xFF],
+            E::BadCid(255),
+        ),
+        entry(
+            "scid length 21 after a valid empty dcid",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x15],
+            E::BadCid(21),
+        ),
+        entry(
+            "both cids at the 20-byte maximum",
+            max_cid_initial(false),
+            E::Ok,
+        ),
+        // --- inconsistent length fields ---------------------------
+        entry(
+            "length zero but pn_len one",
+            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00],
+            E::NotQuic,
+        ),
+        // --- version negotiation ----------------------------------
+        entry(
+            "version negotiation with one offered version",
+            vec![0x80, 0, 0, 0, 0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01],
+            E::Ok,
+        ),
+        entry(
+            "version negotiation with a partial version entry",
+            vec![0x80, 0, 0, 0, 0, 0x00, 0x00, 0x00, 0x01],
+            E::AnyErr,
+        ),
+        // --- positive controls ------------------------------------
+        entry("minimal valid initial", minimal_initial(), E::Ok),
+        entry("minimal valid retry", minimal_retry(16), E::Ok),
+        entry(
+            "valid initial coalesced with a truncated second packet",
+            {
+                let mut wire = minimal_initial();
+                wire.push(0xc0);
+                wire
+            },
+            E::AnyErr,
+        ),
+    ]
+}
+
+/// Asserts that `result` matches `expect`, with `name` in the failure
+/// message. Shared by every suite that replays the corpus.
+pub fn assert_expected(
+    name: &str,
+    expect: CorpusExpect,
+    result: &Result<crate::DissectedPacket, crate::DissectError>,
+) {
+    use crate::DissectError;
+    match expect {
+        CorpusExpect::Ok => assert!(result.is_ok(), "{name}: expected Ok, got {result:?}"),
+        CorpusExpect::Empty => assert!(
+            matches!(result, Err(DissectError::Empty)),
+            "{name}: expected Empty, got {result:?}"
+        ),
+        CorpusExpect::Truncated => assert!(
+            matches!(result, Err(DissectError::Truncated(_))),
+            "{name}: expected Truncated, got {result:?}"
+        ),
+        CorpusExpect::BadVersion(v) => assert!(
+            matches!(result, Err(DissectError::BadVersion(got)) if *got == v),
+            "{name}: expected BadVersion({v:#x}), got {result:?}"
+        ),
+        CorpusExpect::BadCid(n) => assert!(
+            matches!(result, Err(DissectError::BadCid(got)) if *got == n),
+            "{name}: expected BadCid({n}), got {result:?}"
+        ),
+        CorpusExpect::NotQuic => assert!(
+            matches!(result, Err(DissectError::NotQuic(_))),
+            "{name}: expected NotQuic, got {result:?}"
+        ),
+        CorpusExpect::AnyErr => assert!(result.is_err(), "{name}: expected an error, got Ok"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_entries_have_unique_names() {
+        let corpus = adversarial_corpus();
+        assert_eq!(corpus.len(), 33);
+        let mut names: Vec<_> = corpus.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "entry names must be unique");
+    }
+}

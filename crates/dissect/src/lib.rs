@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod corpus;
 pub mod metrics;
 pub mod quic;
 pub mod stats;
 
 pub use classify::{classify_record, Classification, Direction};
+pub use corpus::{adversarial_corpus, CorpusEntry, CorpusExpect};
 pub use metrics::DissectMetrics;
 pub use quic::{dissect_udp_payload, DissectError, DissectedPacket, MessageKind, MessageMeta};
 pub use stats::MessageMixStats;

@@ -27,9 +27,9 @@ pub const MAGIC: &[u8; 4] = b"QSCP";
 /// Current format version.
 pub const FORMAT_VERSION: u16 = 1;
 
-const TAG_UDP: u8 = 0;
-const TAG_TCP: u8 = 1;
-const TAG_ICMP: u8 = 2;
+pub(crate) const TAG_UDP: u8 = 0;
+pub(crate) const TAG_TCP: u8 = 1;
+pub(crate) const TAG_ICMP: u8 = 2;
 
 /// Largest UDP payload representable over IPv4 (65 535 − 20 IP − 8 UDP).
 ///
@@ -182,29 +182,46 @@ impl<R: Read> CaptureReader<R> {
     /// [`CaptureError`] on IO failure or bad header.
     pub fn new(mut inner: R) -> Result<Self, CaptureError> {
         let mut magic = [0u8; 4];
-        inner.read_exact(&mut magic)?;
+        inner.read_exact(&mut magic).map_err(map_truncation)?;
         if &magic != MAGIC {
             return Err(CaptureError::BadMagic);
         }
         let mut ver = [0u8; 2];
-        inner.read_exact(&mut ver)?;
+        inner.read_exact(&mut ver).map_err(map_truncation)?;
         let version = u16::from_le_bytes(ver);
         if version != FORMAT_VERSION {
             return Err(CaptureError::BadVersion(version));
         }
         let mut reserved = [0u8; 2];
-        inner.read_exact(&mut reserved)?;
+        inner.read_exact(&mut reserved).map_err(map_truncation)?;
         Ok(CaptureReader { inner })
     }
 
-    fn read_record(&mut self) -> Result<Option<PacketRecord>, CaptureError> {
+    /// Reads the leading timestamp of the next record, distinguishing a
+    /// clean end of stream (zero bytes available at a record boundary)
+    /// from a record cut mid-timestamp (some but not all of the 8 bytes
+    /// present), which must be reported as [`CaptureError::Truncated`]
+    /// — `read_exact`'s `UnexpectedEof` conflates the two.
+    fn read_ts(&mut self) -> Result<Option<u64>, CaptureError> {
         let mut ts_buf = [0u8; 8];
-        match self.inner.read_exact(&mut ts_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e.into()),
+        let mut filled = 0;
+        while filled < ts_buf.len() {
+            match self.inner.read(&mut ts_buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(CaptureError::Truncated),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
         }
-        let ts = Timestamp::from_micros(u64::from_le_bytes(ts_buf));
+        Ok(Some(u64::from_le_bytes(ts_buf)))
+    }
+
+    fn read_record(&mut self) -> Result<Option<PacketRecord>, CaptureError> {
+        let ts = match self.read_ts()? {
+            Some(micros) => Timestamp::from_micros(micros),
+            None => return Ok(None),
+        };
         let src = Ipv4Addr::from(self.read_u32()?);
         let dst = Ipv4Addr::from(self.read_u32()?);
         let tag = self.read_u8()?;
@@ -288,7 +305,7 @@ fn encode_flags(flags: TcpFlags) -> u8 {
     (flags.syn as u8) | (flags.ack as u8) << 1 | (flags.rst as u8) << 2 | (flags.fin as u8) << 3
 }
 
-fn decode_flags(b: u8) -> TcpFlags {
+pub(crate) fn decode_flags(b: u8) -> TcpFlags {
     TcpFlags {
         syn: b & 1 != 0,
         ack: b & 2 != 0,
@@ -306,7 +323,7 @@ fn encode_icmp(kind: IcmpKind) -> u8 {
     }
 }
 
-fn decode_icmp(b: u8) -> Result<IcmpKind, CaptureError> {
+pub(crate) fn decode_icmp(b: u8) -> Result<IcmpKind, CaptureError> {
     Ok(match b {
         0 => IcmpKind::EchoRequest,
         1 => IcmpKind::EchoReply,
@@ -491,7 +508,7 @@ mod tests {
             Bytes::from(vec![0xAB; MAX_UDP_PAYLOAD]),
         );
         let bytes = to_bytes(std::slice::from_ref(&at_limit)).unwrap();
-        assert_eq!(from_bytes(&bytes).unwrap(), vec![at_limit.clone()]);
+        assert_eq!(from_bytes(&bytes).unwrap(), vec![at_limit]);
 
         let over = PacketRecord::udp(
             Timestamp::from_micros(1),

@@ -28,6 +28,9 @@
 //! * [`stream`] — pull-based [`stream::StreamSource`] adapters that
 //!   feed the live detection engine from a capture replay or an
 //!   in-memory scenario.
+//! * [`zerocopy`] — arena-backed batched capture decoding: records
+//!   decoded against one file-sized buffer through a checked cursor,
+//!   UDP payloads handed out as zero-copy views (the ingest hot path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,8 +45,10 @@ pub mod record;
 pub mod rng;
 pub mod stream;
 pub mod time;
+pub mod zerocopy;
 
 pub use ip::Ipv4Prefix;
 pub use record::{IcmpKind, PacketRecord, TcpFlags, Transport};
 pub use stream::{MemoryStream, StreamSource};
 pub use time::{Duration, Timestamp};
+pub use zerocopy::{DecoderBuffer, RecordBatch, ZeroCopyCaptureReader};

@@ -56,21 +56,26 @@ impl<R: Read> StreamSource for CaptureReader<R> {
 }
 
 /// Replays an in-memory record vector as a stream.
+///
+/// The stream *consumes* the backing vector: each pull moves the record
+/// out instead of deep-cloning it (a UDP record clone would copy its
+/// whole payload, once per record, on the live path).
 #[derive(Debug)]
 pub struct MemoryStream {
-    records: Vec<PacketRecord>,
-    cursor: usize,
+    records: std::vec::IntoIter<PacketRecord>,
 }
 
 impl MemoryStream {
     /// Creates a stream over `records` (replayed in order).
     pub fn new(records: Vec<PacketRecord>) -> Self {
-        MemoryStream { records, cursor: 0 }
+        MemoryStream {
+            records: records.into_iter(),
+        }
     }
 
     /// Records not yet pulled.
     pub fn remaining(&self) -> usize {
-        self.records.len() - self.cursor
+        self.records.len()
     }
 }
 
@@ -82,9 +87,7 @@ impl From<Vec<PacketRecord>> for MemoryStream {
 
 impl StreamSource for MemoryStream {
     fn next_record(&mut self) -> Option<Result<PacketRecord, CaptureError>> {
-        let record = self.records.get(self.cursor)?.clone();
-        self.cursor += 1;
-        Some(Ok(record))
+        self.records.next().map(Ok)
     }
 }
 

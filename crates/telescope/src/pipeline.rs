@@ -305,7 +305,7 @@ pub struct GuardEntry {
     pub src: Ipv4Addr,
     /// High-water timestamp seen from this source.
     pub max_ts: Timestamp,
-    /// FNV-1a fingerprint of the last record from this source.
+    /// [`record_hash`] fingerprint of the last record from this source.
     pub last_hash: u64,
 }
 
@@ -393,70 +393,117 @@ impl PipelineStats {
     }
 }
 
-/// Platform-independent FNV-1a fingerprint of a record (timestamp,
-/// addresses, transport and payload). Used for per-source duplicate
-/// detection; two records collide only if byte-identical (up to hash
-/// collisions, which only ever *under*-count duplicates of faults the
-/// injector deliberately made byte-identical).
+/// Multiply-fold constants for [`record_hash`] (the two 64-bit primes
+/// popularized by wyhash; any pair of odd constants with good bit
+/// dispersion would do).
+const HASH_C1: u64 = 0xa076_1d64_78bd_642f;
+const HASH_C2: u64 = 0xe703_7ed1_a0b4_28db;
+
+/// Folds two words through a 64×64→128-bit multiply, the core mixing
+/// step of the record fingerprint.
+#[inline]
+fn hash_mix(a: u64, b: u64) -> u64 {
+    let r = u128::from(a ^ HASH_C1) * u128::from(b ^ HASH_C2);
+    (r >> 64) as u64 ^ r as u64
+}
+
+/// Build-hasher for the per-source guard map: one folded multiply over
+/// the address bytes instead of the std SipHash, since the map is probed
+/// once per ingested record.
+#[derive(Clone, Copy, Debug, Default)]
+struct SourceMapHasherBuilder;
+
+/// Hasher state for [`SourceMapHasherBuilder`].
+#[derive(Clone, Default)]
+struct SourceMapHasher(u64);
+
+impl std::hash::Hasher for SourceMapHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut lane = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            lane |= u64::from(b) << (8 * (i & 7));
+        }
+        self.0 = hash_mix(self.0 ^ bytes.len() as u64, lane);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::hash::BuildHasher for SourceMapHasherBuilder {
+    type Hasher = SourceMapHasher;
+    fn build_hasher(&self) -> SourceMapHasher {
+        SourceMapHasher(0)
+    }
+}
+
+/// Platform-independent fingerprint of a record (timestamp, addresses,
+/// transport and payload). Used for per-source duplicate detection; two
+/// records collide only if byte-identical (up to hash collisions, which
+/// only ever *under*-count duplicates of faults the injector
+/// deliberately made byte-identical).
+///
+/// The mixing function is a wyhash-style folded multiply over 8-byte
+/// little-endian lanes rather than byte-at-a-time FNV-1a: this hash runs
+/// once per record on the ingest hot path, where FNV's one multiply per
+/// *byte* was the single largest cost. The value is an internal
+/// fingerprint only — it feeds dedup decisions and checkpoint
+/// round-trips, never golden artifacts — so the function can change as
+/// long as it stays deterministic across platforms.
 pub fn record_hash(record: &PacketRecord) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    let mut eat = |byte: u8| {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(PRIME);
-    };
-    for byte in record.ts.as_micros().to_be_bytes() {
-        eat(byte);
-    }
-    for byte in record.src.octets() {
-        eat(byte);
-    }
-    for byte in record.dst.octets() {
-        eat(byte);
-    }
+    // Fixed-layout prefix: timestamp, addresses, transport tag + ports
+    // packed into two words.
+    let ts = record.ts.as_micros();
+    let src = u64::from(u32::from_be_bytes(record.src.octets()));
+    let dst = u64::from(u32::from_be_bytes(record.dst.octets()));
+    let mut hash = hash_mix(ts, src << 32 | dst);
     match &record.transport {
         Transport::Udp {
             src_port,
             dst_port,
             payload,
         } => {
-            eat(0x11);
-            for byte in src_port.to_be_bytes() {
-                eat(byte);
+            hash = hash_mix(
+                hash,
+                0x11 << 32 | u64::from(*src_port) << 16 | u64::from(*dst_port),
+            );
+            let bytes = payload.as_ref();
+            let mut chunks = bytes.chunks_exact(8);
+            for chunk in &mut chunks {
+                let lane = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                hash = hash_mix(hash, lane);
             }
-            for byte in dst_port.to_be_bytes() {
-                eat(byte);
+            let mut last = 0u64;
+            for (i, &b) in chunks.remainder().iter().enumerate() {
+                last |= u64::from(b) << (8 * i);
             }
-            for &byte in payload.iter() {
-                eat(byte);
-            }
+            // Mix the length so prefixes of zero bytes don't collide.
+            hash = hash_mix(hash ^ bytes.len() as u64, last);
         }
         Transport::Tcp {
             src_port,
             dst_port,
             flags,
         } => {
-            eat(0x06);
-            for byte in src_port.to_be_bytes() {
-                eat(byte);
-            }
-            for byte in dst_port.to_be_bytes() {
-                eat(byte);
-            }
-            eat(u8::from(flags.syn)
-                | u8::from(flags.ack) << 1
-                | u8::from(flags.rst) << 2
-                | u8::from(flags.fin) << 3);
+            let bits = u64::from(
+                u8::from(flags.syn)
+                    | u8::from(flags.ack) << 1
+                    | u8::from(flags.rst) << 2
+                    | u8::from(flags.fin) << 3,
+            );
+            hash = hash_mix(
+                hash,
+                0x06 << 40 | bits << 32 | u64::from(*src_port) << 16 | u64::from(*dst_port),
+            );
         }
         Transport::Icmp { kind } => {
-            eat(0x01);
-            eat(match kind {
-                quicsand_net::IcmpKind::EchoRequest => 8,
+            let code = match kind {
+                quicsand_net::IcmpKind::EchoRequest => 8u64,
                 quicsand_net::IcmpKind::EchoReply => 0,
                 quicsand_net::IcmpKind::DestUnreachable => 3,
                 quicsand_net::IcmpKind::TtlExceeded => 11,
-            });
+            };
+            hash = hash_mix(hash, 0x01 << 40 | code << 32);
         }
     }
     hash
@@ -467,7 +514,7 @@ pub fn record_hash(record: &PacketRecord) -> u64 {
 #[derive(Debug, Default)]
 pub struct TelescopePipeline {
     guard: GuardConfig,
-    guards: HashMap<Ipv4Addr, SourceGuard>,
+    guards: HashMap<Ipv4Addr, SourceGuard, SourceMapHasherBuilder>,
     stats: IngestStats,
     quic: Vec<QuicObservation>,
     baseline: Vec<PacketRecord>,
@@ -685,6 +732,18 @@ impl TelescopePipeline {
         }
     }
 
+    /// Ingests one decoded batch, the hand-off unit produced by the
+    /// zero-copy capture reader. Equivalent to [`ingest_all`] over the
+    /// slice — batching changes the call granularity, never the
+    /// counters or the products.
+    ///
+    /// [`ingest_all`]: Self::ingest_all
+    pub fn ingest_batch(&mut self, batch: &[PacketRecord]) {
+        for record in batch {
+            self.ingest(record);
+        }
+    }
+
     /// The counters.
     pub fn stats(&self) -> &IngestStats {
         &self.stats
@@ -805,6 +864,19 @@ mod tests {
         assert_eq!(quic.len(), 2);
         assert!(baseline.is_empty());
         assert_eq!(stats.total, 2);
+    }
+
+    #[test]
+    fn batched_ingest_is_equivalent_to_record_at_a_time() {
+        let records = vec![quic_record(1), quic_record(2), quic_record(3)];
+        let mut streamed = TelescopePipeline::new();
+        streamed.ingest_all(&records);
+        let mut batched = TelescopePipeline::new();
+        for batch in records.chunks(2) {
+            batched.ingest_batch(batch);
+        }
+        assert_eq!(batched.stats(), streamed.stats());
+        assert_eq!(batched.finish().0, streamed.finish().0);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::cid::ConnectionId;
 use crate::error::{WireError, WireResult};
-use crate::siphash::{siphash24, siphash24_128, KeyStream, SipKey};
+use crate::siphash::{siphash24, KeyStream, SipHasher128, SipKey};
 use crate::version::Version;
 
 /// Length of the authentication tag appended by [`seal`].
@@ -131,11 +131,14 @@ pub fn open(key: SipKey, packet_number: u64, header: &[u8], sealed: &[u8]) -> Wi
 }
 
 fn compute_tag(key: SipKey, packet_number: u64, header: &[u8], ciphertext: &[u8]) -> [u8; 16] {
-    let mut material = Vec::with_capacity(8 + header.len() + ciphertext.len());
-    material.extend_from_slice(&packet_number.to_le_bytes());
-    material.extend_from_slice(header);
-    material.extend_from_slice(ciphertext);
-    siphash24_128(key, &material)
+    // Streamed so the `pn || header || ciphertext` tag material never has
+    // to be concatenated into a temporary allocation — this runs once per
+    // candidate Initial on the ingest hot path.
+    let mut hasher = SipHasher128::new(key);
+    hasher.write(&packet_number.to_le_bytes());
+    hasher.write(header);
+    hasher.write(ciphertext);
+    hasher.finish128()
 }
 
 #[cfg(test)]

@@ -29,10 +29,28 @@ pub fn varint_len(value: u64) -> Option<usize> {
 /// [`WireError::InvalidValue`] if `value > MAX_VARINT`.
 pub fn write_varint<B: BufMut>(buf: &mut B, value: u64) -> WireResult<()> {
     match varint_len(value) {
-        Some(1) => buf.put_u8(value as u8),
-        Some(2) => buf.put_u16((value as u16) | 0x4000),
-        Some(4) => buf.put_u32((value as u32) | 0x8000_0000),
-        Some(8) => buf.put_u64(value | 0xc000_0000_0000_0000),
+        Some(1) => {
+            debug_assert!(value <= 0x3f, "1-byte varint out of range: {value:#x}");
+            buf.put_u8(value as u8)
+        }
+        Some(2) => {
+            debug_assert!(value <= 0x3fff, "2-byte varint out of range: {value:#x}");
+            buf.put_u16((value as u16) | 0x4000)
+        }
+        Some(4) => {
+            debug_assert!(
+                value <= 0x3fff_ffff,
+                "4-byte varint out of range: {value:#x}"
+            );
+            buf.put_u32((value as u32) | 0x8000_0000)
+        }
+        Some(8) => {
+            debug_assert!(
+                value <= MAX_VARINT,
+                "8-byte varint out of range: {value:#x}"
+            );
+            buf.put_u64(value | 0xc000_0000_0000_0000)
+        }
         _ => return Err(WireError::InvalidValue { what: "varint" }),
     }
     Ok(())
@@ -85,10 +103,28 @@ pub fn write_varint_with_width<B: BufMut>(buf: &mut B, value: u64, width: usize)
         });
     }
     match width {
-        1 => buf.put_u8(value as u8),
-        2 => buf.put_u16((value as u16) | 0x4000),
-        4 => buf.put_u32((value as u32) | 0x8000_0000),
-        8 => buf.put_u64(value | 0xc000_0000_0000_0000),
+        1 => {
+            debug_assert!(value <= 0x3f, "1-byte varint out of range: {value:#x}");
+            buf.put_u8(value as u8)
+        }
+        2 => {
+            debug_assert!(value <= 0x3fff, "2-byte varint out of range: {value:#x}");
+            buf.put_u16((value as u16) | 0x4000)
+        }
+        4 => {
+            debug_assert!(
+                value <= 0x3fff_ffff,
+                "4-byte varint out of range: {value:#x}"
+            );
+            buf.put_u32((value as u32) | 0x8000_0000)
+        }
+        8 => {
+            debug_assert!(
+                value <= MAX_VARINT,
+                "8-byte varint out of range: {value:#x}"
+            );
+            buf.put_u64(value | 0xc000_0000_0000_0000)
+        }
         _ => unreachable!("validated above"),
     }
     Ok(())
@@ -184,6 +220,45 @@ mod tests {
             let mut slice = &buf[..];
             assert_eq!(read_varint(&mut slice).unwrap(), 17);
             assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn boundary_values_per_length_class() {
+        // Lowest and highest value of each length class, checked against
+        // the exact wire encoding, for both the minimal and forced-width
+        // encoders. A narrowing bug at any class boundary (value as u8 /
+        // u16 / u32) would corrupt exactly these values.
+        let classes: &[(u64, u64, usize)] = &[
+            (0, 0x3f, 1),
+            (0x40, 0x3fff, 2),
+            (0x4000, 0x3fff_ffff, 4),
+            (0x4000_0000, MAX_VARINT, 8),
+        ];
+        for &(lo, hi, width) in classes {
+            for value in [lo, hi] {
+                let mut buf = Vec::new();
+                write_varint(&mut buf, value).unwrap();
+                assert_eq!(buf.len(), width, "minimal width of {value:#x}");
+                // Length-exponent bits, then the value in the low bits.
+                let mut expected = vec![0u8; width];
+                let tagged = value | ((width.trailing_zeros() as u64) << (8 * width as u64 - 2));
+                for (i, byte) in expected.iter_mut().enumerate() {
+                    *byte = (tagged >> (8 * (width - 1 - i))) as u8;
+                }
+                assert_eq!(buf, expected, "wire bytes of {value:#x}");
+                let mut slice = &buf[..];
+                assert_eq!(read_varint(&mut slice).unwrap(), value);
+
+                let mut forced = Vec::new();
+                write_varint_with_width(&mut forced, value, width).unwrap();
+                assert_eq!(forced, buf, "forced width {width} of {value:#x}");
+            }
+            // One past the top of the class no longer fits this width.
+            if width < 8 {
+                let mut buf = Vec::new();
+                assert!(write_varint_with_width(&mut buf, hi + 1, width).is_err());
+            }
         }
     }
 

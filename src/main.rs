@@ -10,11 +10,12 @@
 
 use quicsand_core::{Analysis, AnalysisConfig};
 use quicsand_faults::{FaultPlan, FaultProfile};
-use quicsand_net::capture::{CaptureReader, CaptureWriter};
+use quicsand_net::capture::CaptureWriter;
+use quicsand_net::ZeroCopyCaptureReader;
 use quicsand_sessions::multivector::MultiVectorClass;
 use quicsand_sessions::Cdf;
 use quicsand_traffic::{Scenario, ScenarioConfig};
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -238,11 +239,13 @@ fn run_pipeline(args: &[String], command: &str) -> Result<Analysis, String> {
     let mut analysis_cfg = analysis_config(args)?;
     let plan = fault_plan(args)?;
     let path = positional(args).ok_or(format!("{command} requires a capture path"))?;
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let reader =
-        CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
-    let records: Result<Vec<_>, _> = reader.collect();
-    let mut records = records.map_err(|e| format!("read records: {e}"))?;
+    // Zero-copy load: the capture is pulled into one arena and decoded
+    // in place, so UDP payloads are views rather than per-record copies.
+    let mut reader =
+        ZeroCopyCaptureReader::from_path(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut records = reader
+        .read_to_end()
+        .map_err(|e| format!("read records: {e}"))?;
     eprintln!("loaded {} records; running pipeline...", records.len());
 
     let fault_summary = plan.map(|mut plan| {
@@ -485,9 +488,8 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     };
     let mut engine = LiveEngine::new(config, guard, shards);
 
-    let file = std::fs::File::open(path.as_str()).map_err(|e| format!("open {path}: {e}"))?;
     let mut reader =
-        CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
+        ZeroCopyCaptureReader::from_path(path.as_str()).map_err(|e| format!("read {path}: {e}"))?;
 
     let emit = |event: &quicsand_live::LiveEvent| {
         if json {
@@ -652,9 +654,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 fn cmd_export(args: &[String]) -> Result<(), String> {
     let input = positional(args).ok_or("export requires a capture path")?;
     let output = flag_value(args, "--pcap")?.ok_or("export requires --pcap <file>")?;
-    let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
     let reader =
-        CaptureReader::new(BufReader::new(file)).map_err(|e| format!("read header: {e}"))?;
+        ZeroCopyCaptureReader::from_path(input).map_err(|e| format!("read {input}: {e}"))?;
     let out = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
     let mut writer = quicsand_net::pcap::PcapWriter::new(BufWriter::new(out))
         .map_err(|e| format!("write pcap header: {e}"))?;

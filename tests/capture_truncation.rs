@@ -1,0 +1,158 @@
+//! Truncation regression tests: a capture cut at *any* byte offset must
+//! be reported as [`CaptureError::Truncated`] by both the legacy
+//! streaming reader and the zero-copy decoder — never silently accepted
+//! as a shorter capture.
+//!
+//! The pre-fix `CaptureReader::read_record` mapped every `UnexpectedEof`
+//! on the timestamp read to a clean end of stream, so a file cut 1–7
+//! bytes into a record's timestamp silently dropped those trailing
+//! bytes. The exhaustive sweeps below fail on those semantics and pin
+//! the corrected contract for both readers:
+//!
+//! * fewer than 8 header bytes → `Truncated`;
+//! * a cut exactly at a record boundary → clean end of stream, with
+//!   every preceding record decoded;
+//! * a cut anywhere inside a record — including mid-timestamp —
+//!   → `Truncated`.
+
+use bytes::Bytes;
+use quicsand_net::capture::{from_bytes, to_bytes, CaptureError};
+use quicsand_net::zerocopy::ZeroCopyCaptureReader;
+use quicsand_net::{IcmpKind, PacketRecord, TcpFlags, Timestamp};
+use std::net::Ipv4Addr;
+
+/// One record of every transport, so the sweep crosses every field kind
+/// (timestamp, addresses, tag, ports, length, payload, flags, icmp).
+fn samples() -> Vec<PacketRecord> {
+    vec![
+        PacketRecord::udp(
+            Timestamp::from_micros(111),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(128, 0, 0, 1),
+            40000,
+            443,
+            Bytes::from_static(b"payload bytes"),
+        ),
+        PacketRecord::tcp(
+            Timestamp::from_micros(222),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(128, 0, 0, 2),
+            443,
+            55555,
+            TcpFlags::SYN_ACK,
+        ),
+        PacketRecord::icmp(
+            Timestamp::from_micros(333),
+            Ipv4Addr::new(10, 0, 0, 3),
+            Ipv4Addr::new(128, 0, 0, 3),
+            IcmpKind::TtlExceeded,
+        ),
+        PacketRecord::udp(
+            Timestamp::from_micros(444),
+            Ipv4Addr::new(10, 0, 0, 4),
+            Ipv4Addr::new(128, 0, 0, 4),
+            443,
+            2,
+            Bytes::new(),
+        ),
+    ]
+}
+
+/// Byte offsets (into the serialized capture) at which each record ends.
+/// A cut exactly here is a clean end of stream; anywhere else is not.
+fn record_boundaries(records: &[PacketRecord]) -> Vec<usize> {
+    let mut boundaries = vec![8]; // after the file header
+    for record in records {
+        let one = to_bytes(std::slice::from_ref(record)).unwrap();
+        boundaries.push(boundaries.last().unwrap() + (one.len() - 8));
+    }
+    boundaries
+}
+
+fn decode_zero(bytes: &[u8]) -> Result<Vec<PacketRecord>, CaptureError> {
+    ZeroCopyCaptureReader::from_bytes(bytes.to_vec())?.read_to_end()
+}
+
+#[test]
+fn truncation_at_every_byte_offset_is_detected_by_both_readers() {
+    let records = samples();
+    let bytes = to_bytes(&records).unwrap();
+    let boundaries = record_boundaries(&records);
+    assert_eq!(*boundaries.last().unwrap(), bytes.len());
+
+    for cut in 0..=bytes.len() {
+        let cut_bytes = &bytes[..cut];
+        let legacy = from_bytes(cut_bytes);
+        let zero = decode_zero(cut_bytes);
+        if let Some(complete) = boundaries.iter().position(|&b| b == cut) {
+            // Clean prefix: both readers decode exactly the records
+            // that fit.
+            let want = &records[..complete];
+            assert_eq!(
+                legacy.as_deref().expect("legacy reader, boundary cut"),
+                want,
+                "legacy reader at boundary {cut}"
+            );
+            assert_eq!(
+                zero.as_deref().expect("zero-copy reader, boundary cut"),
+                want,
+                "zero-copy reader at boundary {cut}"
+            );
+        } else {
+            // Mid-header or mid-record: both readers must say so.
+            assert!(
+                matches!(legacy, Err(CaptureError::Truncated)),
+                "legacy reader must report the cut at byte {cut}, got {legacy:?}"
+            );
+            assert!(
+                matches!(zero, Err(CaptureError::Truncated)),
+                "zero-copy reader must report the cut at byte {cut}, got {zero:?}"
+            );
+        }
+    }
+}
+
+/// The specific pre-fix bug: 1–7 trailing bytes of a timestamp were
+/// swallowed as a clean end of stream, silently dropping data.
+#[test]
+fn mid_timestamp_truncation_is_not_a_clean_eof() {
+    let records = samples();
+    let bytes = to_bytes(&records).unwrap();
+    let boundaries = record_boundaries(&records);
+    // Cut inside the timestamp of every record in turn.
+    for &boundary in &boundaries[..boundaries.len() - 1] {
+        for extra in 1..8 {
+            let cut = boundary + extra;
+            let legacy = from_bytes(&bytes[..cut]);
+            assert!(
+                matches!(legacy, Err(CaptureError::Truncated)),
+                "cut {extra} bytes into a timestamp (offset {cut}) must be \
+                 Truncated, got {legacy:?}"
+            );
+            let zero = decode_zero(&bytes[..cut]);
+            assert!(
+                matches!(zero, Err(CaptureError::Truncated)),
+                "zero-copy decoder at offset {cut}: got {zero:?}"
+            );
+        }
+    }
+}
+
+/// Records decoded *before* the cut are still delivered by the
+/// streaming interface, so a consumer sees the valid prefix and then
+/// the typed error — not a silently shortened capture.
+#[test]
+fn valid_prefix_is_delivered_before_the_truncation_error() {
+    let records = samples();
+    let bytes = to_bytes(&records).unwrap();
+    let boundaries = record_boundaries(&records);
+    let cut = boundaries[2] + 3; // inside the third record
+    let mut legacy = quicsand_net::capture::CaptureReader::new(&bytes[..cut]).unwrap();
+    let mut zero = ZeroCopyCaptureReader::from_bytes(bytes[..cut].to_vec()).unwrap();
+    for want in &records[..2] {
+        assert_eq!(legacy.next().unwrap().unwrap(), *want);
+        assert_eq!(zero.read_record().unwrap().unwrap(), *want);
+    }
+    assert!(matches!(legacy.next(), Some(Err(CaptureError::Truncated))));
+    assert!(matches!(zero.read_record(), Err(CaptureError::Truncated)));
+}

@@ -1,275 +1,23 @@
 //! Fuzz-style adversarial corpus for the dissector and header parser.
 //!
-//! Each entry is a hand-crafted hostile payload of the kind a darknet
-//! actually receives — truncations at every field boundary, oversized
-//! CID lengths, reserved bit violations, bogus versions — and each must
-//! produce the *right typed error*: never a panic, never a false
-//! success, and never a coarser error than the malformation deserves
-//! (the quarantine taxonomy depends on the distinction).
+//! The corpus itself lives in `quicsand_dissect::corpus` — each entry is
+//! a hand-crafted hostile payload of the kind a darknet actually
+//! receives, and each must produce the *right typed error*: never a
+//! panic, never a false success, and never a coarser error than the
+//! malformation deserves (the quarantine taxonomy depends on the
+//! distinction). The same corpus is replayed through the capture layer
+//! by `tests/zerocopy_differential.rs`.
 
-use quicsand_dissect::{dissect_udp_payload, DissectError};
+use quicsand_dissect::corpus::{adversarial_corpus, assert_expected};
+use quicsand_dissect::dissect_udp_payload;
 use quicsand_wire::header::{LongHeader, ShortHeader};
 use quicsand_wire::WireError;
 
-/// What a corpus entry must dissect to.
-enum Expect {
-    /// Must parse successfully.
-    Ok,
-    /// Must be rejected as an empty payload.
-    Empty,
-    /// Must be rejected as truncated.
-    Truncated,
-    /// Must be rejected with exactly this unknown version.
-    BadVersion(u32),
-    /// Must be rejected with exactly this oversized CID length.
-    BadCid(usize),
-    /// Must be rejected as structurally non-QUIC.
-    NotQuic,
-    /// Must be rejected, kind unconstrained (structurally ambiguous
-    /// inputs where the exact classification is an implementation
-    /// detail — but success would be a bug).
-    AnyErr,
-}
-
-/// A structurally valid, hand-crafted Initial: long form + fixed bit,
-/// version 1, empty CIDs, empty token, 5-byte protected payload.
-fn minimal_initial() -> Vec<u8> {
-    vec![
-        0xc0, // long | fixed | type=Initial | pn_len=1
-        0x00, 0x00, 0x00, 0x01, // version 1
-        0x00, // dcid len
-        0x00, // scid len
-        0x00, // token length (varint)
-        0x05, // length (varint)
-        0x01, 0x02, 0x03, 0x04, 0x05, // pn + protected payload
-    ]
-}
-
-/// An Initial with both connection IDs at the 20-byte maximum.
-fn max_cid_initial(cut_dcid_short: bool) -> Vec<u8> {
-    let mut wire = vec![0xc0, 0x00, 0x00, 0x00, 0x01];
-    wire.push(20);
-    wire.extend_from_slice(&[0x5A; 20][..if cut_dcid_short { 19 } else { 20 }]);
-    if cut_dcid_short {
-        return wire; // ends inside the DCID
-    }
-    wire.push(20);
-    wire.extend_from_slice(&[0xA5; 20]);
-    wire.extend_from_slice(&[0x00, 0x01, 0x09]); // token len, length, pn
-    wire
-}
-
-/// A structurally valid Retry: version 1, empty CIDs, 3-byte token,
-/// 16-byte integrity tag.
-fn minimal_retry(tag_bytes: usize) -> Vec<u8> {
-    let mut wire = vec![0xf0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00];
-    wire.extend_from_slice(b"tok");
-    wire.extend_from_slice(&vec![0xEE; tag_bytes]);
-    wire
-}
-
-fn corpus() -> Vec<(&'static str, Vec<u8>, Expect)> {
-    vec![
-        // --- degenerate inputs ------------------------------------
-        ("empty payload", vec![], Expect::Empty),
-        ("single zero byte", vec![0x00], Expect::NotQuic),
-        ("all zeros", vec![0u8; 64], Expect::NotQuic),
-        (
-            "dns-ish payload, fixed bit unset",
-            vec![0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00],
-            Expect::NotQuic,
-        ),
-        (
-            "ascii shebang garbage",
-            b"#!garbage shell script".to_vec(),
-            Expect::NotQuic,
-        ),
-        // --- short-header edge cases ------------------------------
-        ("short form, no dcid", vec![0x40], Expect::Truncated),
-        (
-            "short form, dcid cut at 3 of 8 bytes",
-            vec![0x40, 0x01, 0x02, 0x03],
-            Expect::Truncated,
-        ),
-        (
-            "short form, dcid but no packet number",
-            vec![0x40, 1, 2, 3, 4, 5, 6, 7, 8],
-            Expect::AnyErr,
-        ),
-        (
-            "plausible 1-RTT packet",
-            vec![0x43, 1, 2, 3, 4, 5, 6, 7, 8, 0xAA, 0xBB, 0xCC, 0xDD],
-            Expect::Ok,
-        ),
-        // --- long-header reserved-bit violations ------------------
-        (
-            "long form, fixed bit clear, version 1",
-            vec![0x80, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00],
-            Expect::NotQuic,
-        ),
-        // --- long-header truncations at every field boundary ------
-        ("long form, version missing", vec![0xc0], Expect::Truncated),
-        (
-            "long form, version cut at 3 of 4 bytes",
-            vec![0xc0, 0x00, 0x00, 0x00],
-            Expect::Truncated,
-        ),
-        (
-            "long form, dcid length byte missing",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01],
-            Expect::Truncated,
-        ),
-        (
-            "dcid declares 8, carries 4",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x08, 1, 2, 3, 4],
-            Expect::Truncated,
-        ),
-        (
-            "scid length byte missing",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00],
-            Expect::Truncated,
-        ),
-        (
-            "initial token varint declares 16383, carries none",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x7f, 0xff],
-            Expect::Truncated,
-        ),
-        (
-            "initial length field missing",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00],
-            Expect::Truncated,
-        ),
-        (
-            "length declares 0x30, carries 2",
-            vec![
-                0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x30, 0xAA, 0xBB,
-            ],
-            Expect::Truncated,
-        ),
-        (
-            // The Retry token is not self-describing, so a cut is only
-            // detectable once fewer than 16 tag bytes remain.
-            "retry with 15 bytes where the 16-byte tag belongs",
-            vec![
-                0xf0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, // header, empty cids
-                0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, // 15 of 16
-                0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE,
-            ],
-            Expect::Truncated,
-        ),
-        (
-            "max-cid initial cut inside the dcid",
-            max_cid_initial(true),
-            Expect::Truncated,
-        ),
-        // --- version-field hostility ------------------------------
-        (
-            "unknown version 0xdeadbeef",
-            {
-                let mut wire = minimal_initial();
-                wire[1..5].copy_from_slice(&0xdeadbeef_u32.to_be_bytes());
-                wire
-            },
-            Expect::BadVersion(0xdeadbeef),
-        ),
-        (
-            // Structural parsing runs before version semantics: the
-            // 0xFF DCID-length byte is rejected before the unknown
-            // version 0xffffffff is even considered.
-            "all-ones packet (oversized cid wins over bad version)",
-            vec![0xFF; 1200],
-            Expect::BadCid(255),
-        ),
-        (
-            "grease version 0x1a2a3a4a accepted",
-            {
-                let mut wire = minimal_initial();
-                wire[1..5].copy_from_slice(&0x1a2a3a4a_u32.to_be_bytes());
-                wire
-            },
-            Expect::Ok,
-        ),
-        // --- CID length hostility ---------------------------------
-        (
-            "dcid length 21 (one past the RFC max)",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x15],
-            Expect::BadCid(21),
-        ),
-        (
-            "dcid length 255",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0xFF],
-            Expect::BadCid(255),
-        ),
-        (
-            "scid length 21 after a valid empty dcid",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x15],
-            Expect::BadCid(21),
-        ),
-        (
-            "both cids at the 20-byte maximum",
-            max_cid_initial(false),
-            Expect::Ok,
-        ),
-        // --- inconsistent length fields ---------------------------
-        (
-            "length zero but pn_len one",
-            vec![0xc0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00],
-            Expect::NotQuic,
-        ),
-        // --- version negotiation ----------------------------------
-        (
-            "version negotiation with one offered version",
-            vec![0x80, 0, 0, 0, 0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01],
-            Expect::Ok,
-        ),
-        (
-            "version negotiation with a partial version entry",
-            vec![0x80, 0, 0, 0, 0, 0x00, 0x00, 0x00, 0x01],
-            Expect::AnyErr,
-        ),
-        // --- positive controls ------------------------------------
-        ("minimal valid initial", minimal_initial(), Expect::Ok),
-        ("minimal valid retry", minimal_retry(16), Expect::Ok),
-        (
-            "valid initial coalesced with a truncated second packet",
-            {
-                let mut wire = minimal_initial();
-                wire.push(0xc0);
-                wire
-            },
-            Expect::AnyErr,
-        ),
-    ]
-}
-
 #[test]
 fn adversarial_corpus_gets_the_right_typed_error() {
-    for (name, payload, expect) in corpus() {
-        let result = dissect_udp_payload(&payload);
-        match expect {
-            Expect::Ok => assert!(result.is_ok(), "{name}: expected Ok, got {result:?}"),
-            Expect::Empty => assert!(
-                matches!(result, Err(DissectError::Empty)),
-                "{name}: expected Empty, got {result:?}"
-            ),
-            Expect::Truncated => assert!(
-                matches!(result, Err(DissectError::Truncated(_))),
-                "{name}: expected Truncated, got {result:?}"
-            ),
-            Expect::BadVersion(v) => assert!(
-                matches!(result, Err(DissectError::BadVersion(got)) if got == v),
-                "{name}: expected BadVersion({v:#x}), got {result:?}"
-            ),
-            Expect::BadCid(n) => assert!(
-                matches!(result, Err(DissectError::BadCid(got)) if got == n),
-                "{name}: expected BadCid({n}), got {result:?}"
-            ),
-            Expect::NotQuic => assert!(
-                matches!(result, Err(DissectError::NotQuic(_))),
-                "{name}: expected NotQuic, got {result:?}"
-            ),
-            Expect::AnyErr => assert!(result.is_err(), "{name}: expected an error, got Ok"),
-        }
+    for entry in adversarial_corpus() {
+        let result = dissect_udp_payload(&entry.payload);
+        assert_expected(entry.name, entry.expect, &result);
     }
 }
 
@@ -277,7 +25,11 @@ fn adversarial_corpus_gets_the_right_typed_error() {
 /// datagram is either complete or rejected, never partially accepted.
 #[test]
 fn every_prefix_of_a_valid_initial_is_rejected() {
-    let wire = minimal_initial();
+    let wire = adversarial_corpus()
+        .into_iter()
+        .find(|e| e.name == "minimal valid initial")
+        .expect("corpus carries the minimal initial")
+        .payload;
     assert!(dissect_udp_payload(&wire).is_ok(), "full packet must parse");
     for cut in 1..wire.len() {
         let result = dissect_udp_payload(&wire[..cut]);
@@ -337,7 +89,11 @@ fn header_layer_corpus() {
 
     // Long-header decoder never accepts any strict prefix of a valid
     // maximum-CID header.
-    let full = max_cid_initial(false);
+    let full = adversarial_corpus()
+        .into_iter()
+        .find(|e| e.name == "both cids at the 20-byte maximum")
+        .expect("corpus carries the max-CID initial")
+        .payload;
     let header_len = 1 + 4 + 1 + 20 + 1 + 20;
     for cut in 0..header_len {
         let mut slice = &full[..cut];

@@ -1,0 +1,117 @@
+//! Differential tests: the zero-copy capture decoder must be
+//! observationally identical to the legacy copying reader — same
+//! records, same typed errors, same downstream quarantine accounting —
+//! over both the adversarial dissection corpus and large faulted
+//! streams, at every shard count.
+
+use quicsand_dissect::corpus::{adversarial_corpus, assert_expected};
+use quicsand_dissect::dissect_udp_payload;
+use quicsand_faults::{FaultPlan, FaultProfile};
+use quicsand_net::capture::{from_bytes, to_bytes, CaptureError};
+use quicsand_net::zerocopy::ZeroCopyCaptureReader;
+use quicsand_net::{PacketRecord, Timestamp};
+use quicsand_telescope::{ingest_parallel_with, GuardConfig};
+use std::net::Ipv4Addr;
+
+fn decode_zero(bytes: &[u8]) -> Result<Vec<PacketRecord>, CaptureError> {
+    ZeroCopyCaptureReader::from_bytes(bytes.to_vec())?.read_to_end()
+}
+
+/// One UDP record per corpus entry: a hostile payload arriving at the
+/// telescope on the QUIC port, each from its own source.
+fn corpus_records() -> Vec<PacketRecord> {
+    adversarial_corpus()
+        .into_iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            PacketRecord::udp(
+                Timestamp::from_micros(1_000 + i as u64),
+                Ipv4Addr::new(10, 99, (i / 256) as u8, (i % 256) as u8),
+                Ipv4Addr::new(128, 0, 0, 7),
+                40_000 + i as u16,
+                443,
+                entry.payload.into(),
+            )
+        })
+        .collect()
+}
+
+/// The corpus replayed through the capture layer: both readers decode
+/// identical records, the arena-backed payload slices dissect to the
+/// exact same typed outcome as the original buffers, and sharded ingest
+/// agrees on every product and counter at 1/2/8 shards.
+#[test]
+fn corpus_capture_is_identical_through_both_readers() {
+    let records = corpus_records();
+    let bytes = to_bytes(&records).unwrap();
+    let legacy = from_bytes(&bytes).unwrap();
+    let zero = decode_zero(&bytes).unwrap();
+    assert_eq!(legacy, records);
+    assert_eq!(zero, records);
+
+    // Typed dissection outcomes over the zero-copy payload views.
+    for (record, entry) in zero.iter().zip(adversarial_corpus()) {
+        let payload = record.udp_payload().expect("corpus records are UDP");
+        let result = dissect_udp_payload(payload);
+        assert_expected(entry.name, entry.expect, &result);
+    }
+
+    // Downstream quarantine accounting must not depend on which reader
+    // produced the records.
+    let guard = GuardConfig::default();
+    for threads in [1usize, 2, 8] {
+        let (obs_l, base_l, stats_l) = ingest_parallel_with(&legacy, threads, guard);
+        let (obs_z, base_z, stats_z) = ingest_parallel_with(&zero, threads, guard);
+        assert_eq!(obs_l, obs_z, "observations differ at {threads} shard(s)");
+        assert_eq!(base_l, base_z, "baseline differs at {threads} shard(s)");
+        assert_eq!(stats_l, stats_z, "stats differ at {threads} shard(s)");
+    }
+}
+
+/// A 20k-record faulted stream round-trips byte-identically through
+/// both readers and produces identical quarantine counters at every
+/// shard count.
+#[test]
+fn faulted_20k_stream_is_identical_through_both_readers() {
+    let scenario = quicsand_traffic::Scenario::generate(&quicsand_traffic::ScenarioConfig::test());
+    let clean: Vec<PacketRecord> = scenario.records.into_iter().take(20_000).collect();
+    assert!(clean.len() >= 20_000, "need the full record volume");
+
+    let profile = FaultProfile::standard();
+    let guard = profile.guard;
+    let mut plan = FaultPlan::new(profile, 0xD1FF);
+    let faulted = plan.apply_all(&clean);
+
+    let bytes = to_bytes(&faulted).unwrap();
+    let legacy = from_bytes(&bytes).unwrap();
+    let zero = decode_zero(&bytes).unwrap();
+    assert_eq!(legacy, faulted, "legacy reader must round-trip the stream");
+    assert_eq!(zero, faulted, "zero-copy reader must round-trip the stream");
+
+    let single = ingest_parallel_with(&legacy, 1, guard);
+    for threads in [1usize, 2, 8] {
+        let (obs_l, base_l, stats_l) = ingest_parallel_with(&legacy, threads, guard);
+        let (obs_z, base_z, stats_z) = ingest_parallel_with(&zero, threads, guard);
+        assert_eq!(obs_l, obs_z, "observations differ at {threads} shard(s)");
+        assert_eq!(base_l, base_z, "baseline differs at {threads} shard(s)");
+        assert_eq!(
+            stats_l.quarantine, stats_z.quarantine,
+            "quarantine counters differ at {threads} shard(s)"
+        );
+        assert_eq!(stats_l, stats_z, "stats differ at {threads} shard(s)");
+        // And both agree with the single-shard reference.
+        assert_eq!(obs_l, single.0, "N-shard ≡ 1-shard broken at {threads}");
+    }
+
+    // Typed-error equivalence: cut the faulted capture at a spread of
+    // offsets; the two readers must fail (or cleanly stop) identically.
+    for cut in [9, 100, 1_001, bytes.len() / 2, bytes.len() - 1] {
+        let legacy = from_bytes(&bytes[..cut]);
+        let zero = decode_zero(&bytes[..cut]);
+        match (&legacy, &zero) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "clean-prefix records differ at cut {cut}"),
+            (Err(CaptureError::Truncated), Err(CaptureError::Truncated)) => {}
+            other => panic!("readers disagree at cut {cut}: {other:?}"),
+        }
+    }
+}
