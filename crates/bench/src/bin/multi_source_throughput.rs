@@ -1,0 +1,156 @@
+//! Throughput of the multi-source ingestion tier on the ambient scale
+//! (`QUICSAND_SCALE`, default demo): the scenario trace is round-robin
+//! split across in-memory feeds and pumped through the [`SourceSet`]
+//! multiplexer into the live engine, across source counts and a queue
+//! capacity sweep at the reference source count.
+//!
+//! ```text
+//! cargo run --release -p quicsand-bench --bin multi_source_throughput
+//! ```
+//!
+//! Prints records/second through the full multiplexed path (bounded
+//! per-source queues → event-time merge → ingest guard → alert
+//! lifecycle) and the merge overhead versus a single pre-merged feed.
+//!
+//! Afterwards it writes `BENCH_multi_source.json` (the 4-source,
+//! 1-shard, 4096-chunk, default-queue run — the machine-portable
+//! reference configuration) into `QUICSAND_BENCH_DIR` for the
+//! `scripts/ci.sh bench-smoke` regression gate.
+
+use quicsand_bench::report::quantile_ms;
+use quicsand_bench::{BenchReport, Scale, BENCH_SCHEMA_VERSION};
+use quicsand_live::{LiveConfig, MultiSourceLive};
+use quicsand_net::multi::{memory_factory, SourceFactory, SourceSet, SourceSetConfig};
+use quicsand_net::PacketRecord;
+use quicsand_sessions::SessionConfig;
+use quicsand_telescope::GuardConfig;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn splits(records: &[PacketRecord], n: usize) -> Vec<Vec<PacketRecord>> {
+    let mut parts = vec![Vec::new(); n];
+    for (i, record) in records.iter().enumerate() {
+        parts[i % n].push(record.clone());
+    }
+    parts
+}
+
+fn factories(parts: &[Vec<PacketRecord>]) -> Vec<Box<dyn SourceFactory>> {
+    parts
+        .iter()
+        .map(|p| Box::new(memory_factory(p.clone())) as Box<dyn SourceFactory>)
+        .collect()
+}
+
+const CHUNK: usize = 4096;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[quicsand] generating scenario (scale={}, set QUICSAND_SCALE=test|demo|paper to change)",
+        scale.label()
+    );
+    let scenario = quicsand_traffic::Scenario::generate(&scale.scenario_config());
+    let records = &scenario.records;
+    let guard = GuardConfig::default();
+    let config = LiveConfig {
+        session: SessionConfig {
+            skew_tolerance: guard.reorder_tolerance,
+            ..SessionConfig::default()
+        },
+        ..LiveConfig::default()
+    };
+
+    println!(
+        "multiplexed live engine over {} records ({} scale), {} cores available",
+        records.len(),
+        scale.label(),
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    println!(
+        "{:>7} {:>7}  {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "sources", "queue", "wall", "rec/s", "events", "peak", "speedup"
+    );
+
+    let run = |sources: usize, queue: usize, base: f64| -> (f64, MultiSourceLive) {
+        let parts = splits(records, sources);
+        let set_config = SourceSetConfig {
+            queue_capacity: queue,
+            ..SourceSetConfig::default()
+        };
+        let set = SourceSet::spawn(factories(&parts), &set_config);
+        let mut live = MultiSourceLive::new(config, guard, 1, set);
+        let t0 = Instant::now();
+        let mut events = 0usize;
+        while let Some(batch) = live.pump(CHUNK) {
+            events += batch.len();
+        }
+        events += live.finish().len();
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = live.live_stats();
+        assert!(
+            stats.closed > 0,
+            "the scenario must close at least one alert"
+        );
+        assert_eq!(
+            live.offered(),
+            records.len() as u64,
+            "the merge must conserve every record"
+        );
+        println!(
+            "{sources:>7} {queue:>7}  {:>9.2}s {:>12.0} {events:>8} {:>8} {:>7.2}x",
+            wall,
+            records.len() as f64 / wall,
+            stats.peak_tracked,
+            if base > 0.0 { base / wall } else { 1.0 },
+        );
+        (wall, live)
+    };
+
+    let default_queue = SourceSetConfig::default().queue_capacity;
+    let mut base = 0.0f64;
+    let mut reference: Option<(f64, MultiSourceLive)> = None;
+    for sources in [1usize, 2, 4, 8] {
+        let (wall, live) = run(sources, default_queue, base);
+        if sources == 1 {
+            base = wall;
+        }
+        if sources == 4 {
+            reference = Some((wall, live));
+        }
+    }
+    for queue in [64usize, 512] {
+        run(4, queue, base);
+    }
+
+    // Regression-gate report from the 4-source, 1-shard reference run.
+    let (wall, mut live) = reference.expect("4-source run always executes");
+    live.verify_metrics()
+        .expect("multiplexed metrics reconcile at end of run");
+    let stages = live.engine().stage_metrics();
+    let stage_map = |q: f64| -> BTreeMap<String, f64> {
+        [
+            ("ingest", &stages.ingest_walltime),
+            ("sessionize", &stages.sessionize_walltime),
+            ("detect", &stages.detect_walltime),
+        ]
+        .into_iter()
+        .map(|(stage, histogram)| (stage.to_string(), quantile_ms(histogram, q)))
+        .collect()
+    };
+    let report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        name: "multi_source".into(),
+        scale: scale.label().into(),
+        records: records.len() as u64,
+        wall_seconds: wall,
+        throughput_rps: records.len() as f64 / wall,
+        p50_stage_latency_ms: stage_map(0.50),
+        p99_stage_latency_ms: stage_map(0.99),
+        peak_sessions: live.live_stats().peak_tracked as u64,
+        threads: 1,
+    };
+    report.validate().expect("fresh report is schema-valid");
+    let path = report.write().expect("write bench report");
+    eprintln!("[quicsand] bench report written to {}", path.display());
+}

@@ -25,8 +25,10 @@ pub mod alert;
 pub mod detector;
 pub mod engine;
 pub mod metrics;
+pub mod multi;
 
 pub use alert::{EvidencePacket, LiveEvent, LiveEventKind};
 pub use detector::{ClassifiedAttack, DetectorSnapshot, LiveConfig, LiveDetector, LiveStats};
 pub use engine::{LiveEngine, LiveSnapshot};
 pub use metrics::LiveMetrics;
+pub use multi::{parse_checkpoint, MultiSnapshot, MultiSourceLive, CHECKPOINT_SCHEMA_VERSION};

@@ -31,6 +31,9 @@
 //! * [`zerocopy`] — arena-backed batched capture decoding: records
 //!   decoded against one file-sized buffer through a checked cursor,
 //!   UDP payloads handed out as zero-copy views (the ingest hot path).
+//! * [`multi`] — N concurrent sources behind bounded backpressure
+//!   queues, merged into one deterministic watermark-aligned stream
+//!   ([`multi::SourceSet`]) with reconnect-with-resume on failure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +43,7 @@ pub mod event;
 pub mod ip;
 pub mod l3;
 pub mod link;
+pub mod multi;
 pub mod pcap;
 pub mod record;
 pub mod rng;
@@ -48,6 +52,10 @@ pub mod time;
 pub mod zerocopy;
 
 pub use ip::Ipv4Prefix;
+pub use multi::{
+    capture_file_factory, memory_factory, merge_records, DynSource, SourceFactory, SourceSet,
+    SourceSetConfig, SourceStats,
+};
 pub use record::{IcmpKind, PacketRecord, TcpFlags, Transport};
 pub use stream::{MemoryStream, StreamSource};
 pub use time::{Duration, Timestamp};

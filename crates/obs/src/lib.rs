@@ -22,10 +22,12 @@
 
 mod export;
 mod registry;
+mod source;
 
 pub use registry::{
     Counter, Gauge, Histogram, MetricKind, MetricsRegistry, Sample, Stability,
     ATTACK_DURATION_MICROS_BUCKETS, ATTACK_PACKETS_BUCKETS, STAGE_WALLTIME_MICROS_BUCKETS,
 };
+pub use source::{source_label, SourceFeedMetrics, SourceSample, SourceSetMetrics};
 
 pub const METRICS_JSON_SCHEMA: &str = "quicsand.metrics/v1";

@@ -22,20 +22,24 @@ bench_smoke() {
   bench_dir="$(mktemp -d)"
   # shellcheck disable=SC2064
   trap "rm -rf '$bench_dir'" RETURN
-  for bench in shard_scaling live_throughput; do
+  for bench in shard_scaling live_throughput multi_source; do
     # shard_scaling additionally carries an absolute ingest-stage floor
     # (records / median ingest walltime at 1 thread): the zero-copy
     # decode path must stay >= 3x the pre-zero-copy baseline of ~785k
     # rec/s, regardless of the relative tolerance.
     floor_args=()
     [[ "$bench" == "shard_scaling" ]] && floor_args=(--ingest-floor-rps 2360000)
+    # The multi_source report comes from the multi_source_throughput
+    # bin (4-source/1-shard reference configuration).
+    bin="$bench"
+    [[ "$bench" == "multi_source" ]] && bin="multi_source_throughput"
     # Up to 3 attempts: on a shared single-core runner one run can be
     # inflated severalfold by unrelated load, so a gate failure is only
     # real if no attempt passes.
     attempts=3
     for attempt in $(seq 1 $attempts); do
       QUICSAND_SCALE=test QUICSAND_BENCH_DIR="$bench_dir" \
-        cargo run -q --release -p quicsand-bench --bin "$bench" >/dev/null
+        cargo run -q --release -p quicsand-bench --bin "$bin" >/dev/null
       cargo run -q --release -p quicsand-bench --bin bench_compare -- \
         --validate "BENCH_$bench.json" "$bench_dir/BENCH_$bench.json"
       if [[ "${QUICSAND_BENCH_SKIP_COMPARE:-0}" == "1" ]]; then
@@ -133,6 +137,33 @@ echo "$live_out" | grep -E '^live: .* checkpoint\(s\) verified$' | grep -qv ' 0 
 }
 closes="$(echo "$live_out" | grep -c ' CLOSE ')"
 echo "live-smoke: $closes closed alert(s), checkpoints verified, exit 0 — OK"
+
+echo "==> multi-source-smoke: the same capture through the multiplexer"
+# Splitting the ingest across feeds must be invisible: the same capture
+# plus an empty feed yields exactly the live-smoke alert count, the
+# per-feed summary reports both feeds (one empty), and the v2
+# checkpoint still self-verifies.
+: > "$smoke_dir/empty.qscp"
+multi_out="$(cargo run -q $profile_flag -- live \
+  --input "$smoke_dir/smoke.qscp" --input "$smoke_dir/empty.qscp" \
+  --shards 2 --chunk 2048 --checkpoint-every 100000 2>&1)"
+multi_closes="$(echo "$multi_out" | grep -c ' CLOSE ')"
+if [[ "$multi_closes" -ne "$closes" ]]; then
+  echo "multi-source-smoke: $multi_closes closed alert(s), expected $closes" >&2
+  echo "$multi_out" | tail -5 >&2
+  exit 1
+fi
+echo "$multi_out" | grep -q '^sources: 2 feed' || {
+  echo "multi-source-smoke: per-feed summary missing" >&2
+  echo "$multi_out" | tail -5 >&2
+  exit 1
+}
+echo "$multi_out" | grep -E '^live: .* checkpoint\(s\) verified$' | grep -qv ' 0 checkpoint(s)' || {
+  echo "multi-source-smoke: checkpoint self-verification did not run" >&2
+  echo "$multi_out" | tail -5 >&2
+  exit 1
+}
+echo "multi-source-smoke: $multi_closes closed alert(s) across 2 feeds, checkpoints verified — OK"
 
 echo "==> metrics-smoke: exposition + reconciliation on the same capture"
 # `quicsand metrics` re-runs the pipeline with the exported counters

@@ -78,21 +78,29 @@ USAGE:
         (walltimes, thread counts), leaving exactly the
         trace-deterministic subset.
 
-    quicsand live <file.qscp> [--window MINS] [--weight W] [--escalate W]
-                  [--shards N] [--chunk N] [--max-victims N]
+    quicsand live [file.qscp] [--input <file.qscp>]... [--window MINS]
+                  [--weight W] [--escalate W] [--shards N] [--chunk N]
+                  [--source-rate N] [--source-queue N] [--max-victims N]
                   [--checkpoint-every N] [--alert-format text|json]
                   [--metrics-out <file>] [--verbose]
-        Stream the capture through the live flood-detection engine and
-        print alert lifecycle events (OPEN / ESCALATE / CLOSE /
-        RECLASSIFY) as they fire. --window sets the sessionization
-        timeout; --weight scales the Moore thresholds; --escalate sets
-        the escalation tier multiplier; --shards runs per-source
-        detector shards (alerts are identical at any N);
+        Stream one or more captures through the live flood-detection
+        engine and print alert lifecycle events (OPEN / ESCALATE /
+        CLOSE / RECLASSIFY) as they fire. Each --input adds a feed;
+        feeds run concurrently behind bounded queues and are merged in
+        event-time order, so alerts are identical to a single merged
+        capture at any source count. An empty feed is drained and
+        counted, not fatal; a feed that fails mid-run reconnects and
+        resumes. --window sets the sessionization timeout; --weight
+        scales the Moore thresholds; --escalate sets the escalation
+        tier multiplier; --shards runs per-source detector shards
+        (alerts are identical at any N); --source-rate paces each feed
+        (records/s); --source-queue bounds each feed's queue (records);
         --max-victims caps tracked victims per channel (LRU eviction);
-        --checkpoint-every N snapshots the engine every N records,
-        round-trips it through JSON, and resumes from the restored
-        copy — proving the checkpoint is lossless mid-run.
-        --metrics-out writes the engine's metrics registry as
+        --checkpoint-every N snapshots engine + per-source cursors
+        every N records (schema v2; v1 engine-only checkpoints still
+        restore), round-trips through JSON, and resumes every feed
+        from the restored copy — proving the checkpoint is lossless
+        mid-run. --metrics-out writes the engine's metrics registry as
         canonical JSON after the run (stable series survive
         checkpoint/restore unchanged).
 
@@ -124,6 +132,27 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, Str
         Some(value) => Ok(Some(value.as_str())),
         None => Err(format!("flag {name} is missing its value")),
     }
+}
+
+/// Collects every value of a repeatable flag (`--input a --input b`),
+/// with the same flag-shaped-value rejection as [`flag_value`].
+fn flag_values<'a>(args: &'a [String], name: &str) -> Result<Vec<&'a str>, String> {
+    let mut values = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg != name {
+            continue;
+        }
+        match args.get(i + 1) {
+            Some(value) if value.starts_with("--") => {
+                return Err(format!(
+                    "flag {name} expects a value, but got the flag `{value}`"
+                ))
+            }
+            Some(value) => values.push(value.as_str()),
+            None => return Err(format!("flag {name} is missing its value")),
+        }
+    }
+    Ok(values)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -412,15 +441,24 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_live(args: &[String]) -> Result<(), String> {
-    use quicsand_live::{LiveConfig, LiveEngine, LiveSnapshot};
-    use quicsand_net::stream::StreamSource;
+    use quicsand_live::{parse_checkpoint, LiveConfig, MultiSourceLive};
+    use quicsand_net::multi::{capture_file_factory, SourceFactory, SourceSet, SourceSetConfig};
     use quicsand_net::Duration;
     use quicsand_sessions::dos::DosThresholds;
     use quicsand_sessions::multivector::MultiVectorClass;
     use quicsand_sessions::SessionConfig;
     use quicsand_telescope::GuardConfig;
 
-    let path = positional(args).ok_or("live requires a capture path")?;
+    // Feeds: the optional positional capture plus any number of
+    // repeatable --input captures, merged in event-time order.
+    let mut inputs: Vec<String> = Vec::new();
+    if let Some(path) = positional(args) {
+        inputs.push(path.clone());
+    }
+    inputs.extend(flag_values(args, "--input")?.into_iter().map(String::from));
+    if inputs.is_empty() {
+        return Err("live requires a capture path (positional or --input <file>)".into());
+    }
     let window: u64 = flag_value(args, "--window")?
         .map(|v| {
             v.parse()
@@ -466,6 +504,22 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
                 .ok_or(format!("invalid --checkpoint-every `{v}`"))
         })
         .transpose()?;
+    let source_queue: usize = flag_value(args, "--source-queue")?
+        .map(|v| {
+            v.parse::<usize>().ok().filter(|&q| q >= 1).ok_or(format!(
+                "invalid --source-queue `{v}` (want an integer >= 1)"
+            ))
+        })
+        .transpose()?
+        .unwrap_or(SourceSetConfig::default().queue_capacity);
+    let source_rate: Option<u64> = flag_value(args, "--source-rate")?
+        .map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&r| r >= 1)
+                .ok_or(format!("invalid --source-rate `{v}` (want records/s >= 1)"))
+        })
+        .transpose()?;
     let json = match flag_value(args, "--alert-format")?.unwrap_or("text") {
         "text" => false,
         "json" => true,
@@ -486,10 +540,31 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         max_victims,
         ..LiveConfig::default()
     };
-    let mut engine = LiveEngine::new(config, guard, shards);
-
-    let mut reader =
-        ZeroCopyCaptureReader::from_path(path.as_str()).map_err(|e| format!("read {path}: {e}"))?;
+    // A bad path or corrupt header is still a hard, immediate error —
+    // only *mid-run* source failures are tolerated (reconnect/abandon).
+    // An empty capture opens as an instantly-EOF feed, not an error.
+    for path in &inputs {
+        capture_file_factory(path.clone())
+            .open()
+            .map_err(|e| format!("read {path}: {e}"))?;
+    }
+    let set_config = SourceSetConfig {
+        queue_capacity: source_queue,
+        rate_limit: source_rate,
+        ..SourceSetConfig::default()
+    };
+    let make_factories = || -> Vec<Box<dyn SourceFactory>> {
+        inputs
+            .iter()
+            .map(|path| Box::new(capture_file_factory(path.clone())) as Box<dyn SourceFactory>)
+            .collect()
+    };
+    let mut live = MultiSourceLive::new(
+        config,
+        guard,
+        shards,
+        SourceSet::spawn(make_factories(), &set_config),
+    );
 
     let emit = |event: &quicsand_live::LiveEvent| {
         if json {
@@ -499,76 +574,73 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let mut since_checkpoint: u64 = 0;
+    let mut offered_at_checkpoint: u64 = 0;
     let mut checkpoints: u64 = 0;
     let mut checkpoint_bytes: u64 = 0;
-    loop {
-        let records = reader
-            .pull_chunk(chunk)
-            .map_err(|e| format!("read records: {e}"))?;
-        if records.is_empty() {
-            break;
-        }
-        since_checkpoint += records.len() as u64;
-        for event in engine.offer_chunk(&records) {
+    while let Some(events) = live.pump(chunk) {
+        for event in events {
             emit(&event);
         }
-        if checkpoint_every.is_some_and(|every| since_checkpoint >= every) {
-            // Self-verifying checkpoint: serialize the snapshot,
-            // restore a fresh engine from the parsed copy, prove the
-            // round trip is lossless, and continue from the restored
-            // engine — the rest of the run exercises the resume path.
-            let snapshot = engine.snapshot();
+        let due =
+            checkpoint_every.is_some_and(|every| live.offered() - offered_at_checkpoint >= every);
+        if due {
+            // Self-verifying checkpoint: serialize the v2 snapshot
+            // (engine + per-source cursors), parse it back, restore a
+            // fresh engine *and* fresh feeds resumed past the cursors,
+            // prove the round trip is lossless, and continue from the
+            // restored copy — the rest of the run exercises the
+            // multi-source resume path.
+            let snapshot = live.snapshot();
             let encoded =
                 serde_json::to_string(&snapshot).map_err(|e| format!("checkpoint encode: {e}"))?;
-            let decoded: LiveSnapshot =
-                serde_json::from_str(&encoded).map_err(|e| format!("checkpoint decode: {e}"))?;
-            let restored = LiveEngine::restore(&decoded);
+            let decoded = parse_checkpoint(&encoded)?;
+            let restored = MultiSourceLive::restore(&decoded, make_factories(), &set_config)?;
             if restored.snapshot() != snapshot {
                 return Err(format!(
                     "checkpoint self-verification failed after {} records",
-                    engine.offered()
+                    live.offered()
                 ));
             }
-            engine = restored;
+            live = restored;
             checkpoints += 1;
             checkpoint_bytes += encoded.len() as u64;
             // restore() rebuilds the registry from the snapshot, which
             // carries no checkpoint telemetry — re-seed the cumulative
             // totals so the exported counters cover the whole run, not
             // just the stretch since the last resume.
-            engine.metrics().checkpoints_total.add(checkpoints);
-            engine
+            live.engine().metrics().checkpoints_total.add(checkpoints);
+            live.engine()
                 .metrics()
                 .checkpoint_bytes_total
                 .add(checkpoint_bytes);
-            since_checkpoint = 0;
+            offered_at_checkpoint = live.offered();
             if verbose {
                 eprintln!(
-                    "checkpoint {} verified at {} records ({} bytes)",
+                    "checkpoint {} verified at {} records ({} bytes, {} source cursor(s))",
                     checkpoints,
-                    engine.offered(),
-                    encoded.len()
+                    live.offered(),
+                    encoded.len(),
+                    snapshot.cursors.len()
                 );
             }
         }
     }
-    for event in engine.finish() {
+    for event in live.finish() {
         emit(&event);
     }
     // Hard invariant: live counters reconcile with the merged detector
-    // stats at this (finished) sync point.
-    engine
-        .verify_metrics()
+    // stats at this (finished) sync point — including the per-source
+    // counters and the cursor/offered conservation check.
+    live.verify_metrics()
         .map_err(|e| format!("live metrics reconciliation failed: {}", e.join("; ")))?;
-    write_metrics_out(args, engine.registry())?;
+    write_metrics_out(args, live.engine().registry())?;
 
-    let stats = engine.live_stats();
-    let ingest = engine.ingest_stats();
+    let stats = live.live_stats();
+    let ingest = live.ingest_stats();
     println!(
         "live: {} records in, {} opened / {} escalated / {} closed / {} reclassified, \
          {} eviction(s), {} quarantined",
-        engine.offered(),
+        live.offered(),
         stats.opened,
         stats.escalated,
         stats.closed,
@@ -576,7 +648,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         stats.evictions,
         ingest.quarantine.total()
     );
-    let quic = engine.closed_quic();
+    let quic = live.engine().closed_quic();
     let class_count = |class: MultiVectorClass| quic.iter().filter(|c| c.class() == class).count();
     println!(
         "live: {} QUIC flood(s) ({} concurrent / {} sequential / {} isolated), \
@@ -585,11 +657,20 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         class_count(MultiVectorClass::Concurrent),
         class_count(MultiVectorClass::Sequential),
         class_count(MultiVectorClass::Isolated),
-        engine.closed_common().len(),
+        live.engine().closed_common().len(),
         checkpoints
     );
+    let sources = live.source_stats();
+    println!(
+        "sources: {} feed(s), {} record(s) merged, {} reconnect(s), {} abandoned, {} empty",
+        sources.len(),
+        live.offered(),
+        sources.iter().map(|s| s.reconnects).sum::<u64>(),
+        sources.iter().filter(|s| s.dead).count(),
+        sources.iter().filter(|s| s.eof && s.delivered == 0).count()
+    );
     if verbose {
-        let pipeline = engine.pipeline_stats();
+        let pipeline = live.engine().pipeline_stats();
         println!(
             "live: {} shard(s), {:.0} records/s ingest; {}; peak tracked victims {}",
             shards.max(1),

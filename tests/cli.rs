@@ -170,3 +170,107 @@ fn missing_required_flag_fails() {
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("--out"));
 }
+
+/// Regression: `live` on an empty (0-byte) capture used to hard-fail
+/// with a truncation error; an empty feed must be tolerated — drained,
+/// counted, and reported as zero records.
+#[test]
+fn live_tolerates_empty_captures_standalone_and_in_a_set() {
+    let dir = std::env::temp_dir().join("quicsand-cli-live-empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let capture = dir.join("live.qscp");
+    let empty = dir.join("empty.qscp");
+    std::fs::write(&empty, b"").unwrap();
+
+    let generate = Command::new(bin())
+        .args([
+            "generate",
+            "--out",
+            capture.to_str().unwrap(),
+            "--scale",
+            "test",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        generate.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&generate.stderr)
+    );
+
+    // Standalone empty capture: exits 0 with zero records, no alerts.
+    let alone = Command::new(bin())
+        .args(["live", empty.to_str().unwrap()])
+        .output()
+        .expect("run live on empty capture");
+    assert!(
+        alone.status.success(),
+        "live on an empty capture must succeed: {}",
+        String::from_utf8_lossy(&alone.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&alone.stdout);
+    assert!(stdout.contains("0 records in"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("sources: 1 feed(s)") && stdout.contains("1 empty"),
+        "stdout: {stdout}"
+    );
+
+    // A real feed plus an empty feed: alert lines byte-identical to the
+    // single-source run, with the empty feed surfaced in the summary.
+    let single = Command::new(bin())
+        .args(["live", capture.to_str().unwrap(), "--shards", "2"])
+        .output()
+        .expect("run single-source live");
+    assert!(single.status.success());
+    let multi = Command::new(bin())
+        .args([
+            "live",
+            "--input",
+            capture.to_str().unwrap(),
+            "--input",
+            empty.to_str().unwrap(),
+            "--shards",
+            "2",
+        ])
+        .output()
+        .expect("run multi-source live");
+    assert!(
+        multi.status.success(),
+        "multi-source live failed: {}",
+        String::from_utf8_lossy(&multi.stderr)
+    );
+    let pick_alerts = |out: &[u8]| -> String {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| l.starts_with("live:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        pick_alerts(&single.stdout),
+        pick_alerts(&multi.stdout),
+        "an empty extra feed must not change any alert"
+    );
+    let stdout = String::from_utf8_lossy(&multi.stdout);
+    assert!(
+        stdout.contains("sources: 2 feed(s)") && stdout.contains("1 empty"),
+        "stdout: {stdout}"
+    );
+
+    std::fs::remove_file(&capture).ok();
+    std::fs::remove_file(&empty).ok();
+}
+
+/// `live` with no capture path at all still fails loudly.
+#[test]
+fn live_without_any_input_is_rejected() {
+    let output = Command::new(bin())
+        .args(["live"])
+        .output()
+        .expect("run live without inputs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--input"), "stderr: {stderr}");
+}
