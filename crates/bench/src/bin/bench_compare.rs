@@ -14,10 +14,47 @@
 //! back toward the per-record copying numbers no matter what the
 //! relative tolerance would forgive. See `quicsand_bench::report` for
 //! the gating policy.
+//!
+//! Baselines are per scale tier: when `--baseline` names a file from a
+//! different tier than the current report, the comparison is routed to
+//! the `BENCH_<name>@<scale>.json` sibling for the current tier.
 
-use quicsand_bench::{tolerance_from_env, BenchReport};
+use quicsand_bench::{scaled_file_name, tolerance_from_env, BenchReport};
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Resolves the baseline actually comparable to `current`: when the
+/// named baseline was recorded at a different scale tier, the
+/// comparison is routed to the per-tier sibling file
+/// (`BENCH_<name>@<scale>.json` next to the named baseline) instead of
+/// erroring on the scale mismatch.
+fn route_baseline(named: &Path, current: &BenchReport) -> Result<BenchReport, String> {
+    let baseline = BenchReport::load(named)?;
+    if baseline.scale == current.scale {
+        return Ok(baseline);
+    }
+    let sibling = named
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join(scaled_file_name(&baseline.name, &current.scale));
+    if !sibling.exists() {
+        return Err(format!(
+            "baseline `{}` is scale `{}` but the current report is scale `{}`, \
+             and no per-tier baseline `{}` exists",
+            named.display(),
+            baseline.scale,
+            current.scale,
+            sibling.display()
+        ));
+    }
+    eprintln!(
+        "scale `{}` != baseline scale `{}`: routing to {}",
+        current.scale,
+        baseline.scale,
+        sibling.display()
+    );
+    BenchReport::load(&sibling)
+}
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -80,8 +117,8 @@ fn run(args: &[String]) -> Result<String, String> {
         None => None,
     };
 
-    let baseline = BenchReport::load(Path::new(baseline))?;
     let current = BenchReport::load(Path::new(current))?;
+    let baseline = route_baseline(Path::new(baseline), &current)?;
     BenchReport::compare(&baseline, &current, tolerance).map_err(|errors| {
         format!(
             "`{}` regressed beyond {:.0}% tolerance:\n  {}",

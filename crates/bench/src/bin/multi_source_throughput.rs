@@ -1,29 +1,37 @@
-//! Throughput of the multi-source ingestion tier on the ambient scale
-//! (`QUICSAND_SCALE`, default demo): the scenario trace is round-robin
-//! split across in-memory feeds and pumped through the [`SourceSet`]
-//! multiplexer into the live engine, across source counts and a queue
-//! capacity sweep at the reference source count.
+//! Throughput of the multi-source ingestion tier, at any rung of the
+//! perf scale ladder (`QUICSAND_BENCH_SCALE`, default `test`):
+//!
+//! * `test` (and any `QUICSAND_SCALE`) — the materialized scenario
+//!   trace is round-robin split across in-memory feeds.
+//! * `medium` / `large` — 1M / 10M records flow from the
+//!   constant-memory streaming generator, entity-sharded into feeds;
+//!   the trace is never materialized.
 //!
 //! ```text
 //! cargo run --release -p quicsand-bench --bin multi_source_throughput
 //! ```
 //!
 //! Prints records/second through the full multiplexed path (bounded
-//! per-source queues → event-time merge → ingest guard → alert
-//! lifecycle) and the merge overhead versus a single pre-merged feed.
+//! per-source queues → batched transfer → run-based event-time merge →
+//! ingest guard → alert lifecycle) and the fan-in overhead versus a
+//! single feed. When `QUICSAND_MULTI_RATIO_MAX` is set (CI
+//! `scale-smoke` sets 1.5), the run fails if the 4-source wall time
+//! exceeds that multiple of the single-source wall time.
 //!
-//! Afterwards it writes `BENCH_multi_source.json` (the 4-source,
-//! 1-shard, 4096-chunk, default-queue run — the machine-portable
-//! reference configuration) into `QUICSAND_BENCH_DIR` for the
-//! `scripts/ci.sh bench-smoke` regression gate.
+//! Afterwards it writes the per-tier report (`BENCH_multi_source.json`
+//! at the `test` tier, `BENCH_multi_source@<scale>.json` above it; the
+//! 4-source, 1-shard, 4096-chunk, default-queue run is the
+//! machine-portable reference configuration) into `QUICSAND_BENCH_DIR`
+//! for the `scripts/ci.sh` regression gates.
 
 use quicsand_bench::report::quantile_ms;
-use quicsand_bench::{BenchReport, Scale, BENCH_SCHEMA_VERSION};
+use quicsand_bench::{BenchReport, BenchScale, Scale, BENCH_SCHEMA_VERSION};
 use quicsand_live::{LiveConfig, MultiSourceLive};
-use quicsand_net::multi::{memory_factory, SourceFactory, SourceSet, SourceSetConfig};
+use quicsand_net::multi::{memory_factory, DynSource, SourceFactory, SourceSet, SourceSetConfig};
 use quicsand_net::PacketRecord;
 use quicsand_sessions::SessionConfig;
 use quicsand_telescope::GuardConfig;
+use quicsand_traffic::RecordStream;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -35,23 +43,63 @@ fn splits(records: &[PacketRecord], n: usize) -> Vec<Vec<PacketRecord>> {
     parts
 }
 
-fn factories(parts: &[Vec<PacketRecord>]) -> Vec<Box<dyn SourceFactory>> {
-    parts
-        .iter()
-        .map(|p| Box::new(memory_factory(p.clone())) as Box<dyn SourceFactory>)
-        .collect()
-}
-
 const CHUNK: usize = 4096;
 
+/// Builds the per-feed factories for a given source count.
+type FeedBuilder = Box<dyn Fn(usize) -> Vec<Box<dyn SourceFactory>>>;
+
+fn ratio_max_from_env() -> Option<f64> {
+    std::env::var("QUICSAND_MULTI_RATIO_MAX")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|r| r.is_finite() && *r >= 1.0)
+}
+
 fn main() {
+    let bench_scale = BenchScale::from_env();
     let scale = Scale::from_env();
-    eprintln!(
-        "[quicsand] generating scenario (scale={}, set QUICSAND_SCALE=test|demo|paper to change)",
-        scale.label()
-    );
-    let scenario = quicsand_traffic::Scenario::generate(&scale.scenario_config());
-    let records = &scenario.records;
+
+    // The feed builder and the total record count, per ladder tier.
+    let (total, feeds_for, report_scale): (u64, FeedBuilder, &str) = match bench_scale
+        .stream_config()
+    {
+        // Streaming tiers: entity-sharded constant-memory generators.
+        Some(stream) => {
+            eprintln!(
+                "[quicsand] streaming {} records ({} tier), never materialized",
+                stream.records,
+                bench_scale.label()
+            );
+            let feeds = move |sources: usize| -> Vec<Box<dyn SourceFactory>> {
+                (0..sources)
+                    .map(|index| {
+                        let shard = stream.shard(sources as u32, index as u32);
+                        Box::new(move || Ok(Box::new(RecordStream::new(&shard)) as DynSource))
+                            as Box<dyn SourceFactory>
+                    })
+                    .collect()
+            };
+            (stream.records, Box::new(feeds), bench_scale.label())
+        }
+        // Test tier: the materialized scenario, round-robin split.
+        None => {
+            eprintln!(
+                "[quicsand] generating scenario (scale={}, set QUICSAND_SCALE=test|demo|paper to change)",
+                scale.label()
+            );
+            let scenario = quicsand_traffic::Scenario::generate(&scale.scenario_config());
+            let records = scenario.records;
+            let total = records.len() as u64;
+            let feeds = move |sources: usize| -> Vec<Box<dyn SourceFactory>> {
+                splits(&records, sources)
+                    .into_iter()
+                    .map(|p| Box::new(memory_factory(p)) as Box<dyn SourceFactory>)
+                    .collect()
+            };
+            (total, Box::new(feeds), scale.label())
+        }
+    };
+
     let guard = GuardConfig::default();
     let config = LiveConfig {
         session: SessionConfig {
@@ -62,9 +110,7 @@ fn main() {
     };
 
     println!(
-        "multiplexed live engine over {} records ({} scale), {} cores available",
-        records.len(),
-        scale.label(),
+        "multiplexed live engine over {total} records ({report_scale} tier), {} cores available",
         std::thread::available_parallelism().map_or(1, usize::from)
     );
     println!(
@@ -73,12 +119,11 @@ fn main() {
     );
 
     let run = |sources: usize, queue: usize, base: f64| -> (f64, MultiSourceLive) {
-        let parts = splits(records, sources);
         let set_config = SourceSetConfig {
             queue_capacity: queue,
             ..SourceSetConfig::default()
         };
-        let set = SourceSet::spawn(factories(&parts), &set_config);
+        let set = SourceSet::spawn(feeds_for(sources), &set_config);
         let mut live = MultiSourceLive::new(config, guard, 1, set);
         let t0 = Instant::now();
         let mut events = 0usize;
@@ -88,19 +133,16 @@ fn main() {
         events += live.finish().len();
         let wall = t0.elapsed().as_secs_f64();
         let stats = live.live_stats();
-        assert!(
-            stats.closed > 0,
-            "the scenario must close at least one alert"
-        );
+        assert!(stats.closed > 0, "the trace must close at least one alert");
         assert_eq!(
             live.offered(),
-            records.len() as u64,
+            total,
             "the merge must conserve every record"
         );
         println!(
             "{sources:>7} {queue:>7}  {:>9.2}s {:>12.0} {events:>8} {:>8} {:>7.2}x",
             wall,
-            records.len() as f64 / wall,
+            total as f64 / wall,
             stats.peak_tracked,
             if base > 0.0 { base / wall } else { 1.0 },
         );
@@ -119,12 +161,25 @@ fn main() {
             reference = Some((wall, live));
         }
     }
-    for queue in [64usize, 512] {
-        run(4, queue, base);
+    // The queue-capacity sweep only makes sense where runs are cheap.
+    if bench_scale == BenchScale::Test {
+        for queue in [64usize, 512] {
+            run(4, queue, base);
+        }
+    }
+
+    let (wall, mut live) = reference.expect("4-source run always executes");
+    if let Some(max_ratio) = ratio_max_from_env() {
+        let ratio = wall / base;
+        assert!(
+            ratio <= max_ratio,
+            "fan-in tax too high: 4-source wall {wall:.2}s is {ratio:.2}x \
+             single-source {base:.2}s (max allowed {max_ratio:.2}x)"
+        );
+        eprintln!("[quicsand] fan-in ratio {ratio:.2}x <= {max_ratio:.2}x — ok");
     }
 
     // Regression-gate report from the 4-source, 1-shard reference run.
-    let (wall, mut live) = reference.expect("4-source run always executes");
     live.verify_metrics()
         .expect("multiplexed metrics reconcile at end of run");
     let stages = live.engine().stage_metrics();
@@ -141,10 +196,10 @@ fn main() {
     let report = BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         name: "multi_source".into(),
-        scale: scale.label().into(),
-        records: records.len() as u64,
+        scale: report_scale.into(),
+        records: total,
         wall_seconds: wall,
-        throughput_rps: records.len() as f64 / wall,
+        throughput_rps: total as f64 / wall,
         p50_stage_latency_ms: stage_map(0.50),
         p99_stage_latency_ms: stage_map(0.99),
         peak_sessions: live.live_stats().peak_tracked as u64,

@@ -48,9 +48,12 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// The canonical file name for this report.
+    /// The canonical file name for this report: per-tier baselines
+    /// live side by side as `BENCH_<name>@<scale>.json`, with the
+    /// historical `test` tier keeping the bare `BENCH_<name>.json` so
+    /// committed baselines stay where they were.
     pub fn file_name(&self) -> String {
-        format!("BENCH_{}.json", self.name)
+        scaled_file_name(&self.name, &self.scale)
     }
 
     /// Serializes to pretty JSON (stable field order via serde).
@@ -200,6 +203,16 @@ impl BenchReport {
     }
 }
 
+/// The on-disk name of the baseline for `name` at `scale` (see
+/// [`BenchReport::file_name`]).
+pub fn scaled_file_name(name: &str, scale: &str) -> String {
+    if scale == "test" {
+        format!("BENCH_{name}.json")
+    } else {
+        format!("BENCH_{name}@{scale}.json")
+    }
+}
+
 /// The comparison tolerance: `QUICSAND_BENCH_TOLERANCE` or 0.20.
 pub fn tolerance_from_env() -> f64 {
     std::env::var("QUICSAND_BENCH_TOLERANCE")
@@ -272,6 +285,16 @@ mod tests {
         current.throughput_rps = 9_999.0;
         current.peak_sessions = 1;
         BenchReport::compare(&baseline, &current, 0.20).expect("improvement");
+    }
+
+    #[test]
+    fn file_names_route_per_scale() {
+        let mut r = report();
+        assert_eq!(r.file_name(), "BENCH_unit.json");
+        r.scale = "medium".into();
+        assert_eq!(r.file_name(), "BENCH_unit@medium.json");
+        assert_eq!(scaled_file_name("unit", "large"), "BENCH_unit@large.json");
+        assert_eq!(scaled_file_name("unit", "test"), "BENCH_unit.json");
     }
 
     #[test]

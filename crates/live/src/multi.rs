@@ -99,6 +99,7 @@ fn to_samples(stats: &[SourceStats]) -> Vec<SourceSample> {
         .iter()
         .map(|s| SourceSample {
             delivered: s.delivered,
+            batches: s.batches,
             reconnects: s.reconnects,
             drops: s.drops,
             queue_depth: s.queue_depth as u64,

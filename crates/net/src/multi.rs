@@ -6,15 +6,32 @@
 //! taps). [`SourceSet`] drives one producer thread per
 //! [`StreamSource`] behind a bounded queue (backpressure: a producer
 //! blocks when its queue is full, so a fast feed can never balloon
-//! memory while a slow feed catches up) and merges the heads through an
+//! memory while a slow feed catches up) and merges the feeds through an
 //! event-time min-heap keyed by `(timestamp, source index)`.
 //!
-//! **Determinism.** The heap holds exactly one head record per live
-//! source, so the next emitted record is a pure function of the
-//! per-source head timestamps — thread scheduling, queue depths, and
-//! rate limits can change *when* records become available, never *which
-//! order* they merge in. [`merge_records`] is the same function stated
-//! synchronously; `SourceSet` over any split of a trace is
+//! **Batched transfer.** Producers hand records over in whole batches
+//! (target [`SourceSetConfig::batch_records`], sized like the zero-copy
+//! tier's `RecordBatch`) rather than one at a time: one lock round-trip
+//! and one wakeup amortize over thousands of records, which is what
+//! closes the fan-in gap to the single-source path on small machines.
+//! The queue capacity still bounds *records*, not batches — producers
+//! cap their batches at the capacity, so `queue_peak <= capacity`
+//! holds exactly as it did for per-record hand-off.
+//!
+//! **Run-based merging.** Since each feed is internally time-sorted,
+//! the consumer emits *runs*, not records: after popping the winning
+//! feed off the heap it finds — by galloping binary search — the prefix
+//! of that feed's head batch ordered strictly before the next competing
+//! feed's head in the `(timestamp, source index)` order, and emits the
+//! whole prefix with a single heap adjustment. See DESIGN.md §12 for
+//! the determinism argument.
+//!
+//! **Determinism.** The heap holds exactly one head entry per live
+//! source, so the next emitted run is a pure function of the per-source
+//! head timestamps — thread scheduling, queue depths, batch boundaries,
+//! and rate limits can change *when* records become available, never
+//! *which order* they merge in. [`merge_records`] is the same function
+//! stated synchronously; `SourceSet` over any split of a trace is
 //! record-for-record equal to it, which is the contract
 //! `tests/multi_source.rs` proves against the live engine.
 //!
@@ -36,6 +53,7 @@ use crate::capture::CaptureError;
 use crate::record::PacketRecord;
 use crate::stream::{MemoryStream, StreamSource};
 use crate::time::Timestamp;
+use crate::zerocopy::DEFAULT_BATCH;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::path::PathBuf;
@@ -73,6 +91,12 @@ pub struct SourceSetConfig {
     /// Bounded per-source queue capacity, records (`--source-queue`).
     /// Producers block when their queue is full.
     pub queue_capacity: usize,
+    /// Target records per producer batch (`--source-batch`). Batches
+    /// are additionally capped at the queue capacity (so a full batch
+    /// always fits) and, under pacing, at ~20 ms worth of records (so
+    /// arrival shaping stays smooth). Batch boundaries can never change
+    /// the merged record order.
+    pub batch_records: usize,
     /// Per-source pacing, records per second (`--source-rate`); `None`
     /// replays at full speed. Pacing shapes arrival timing only — it
     /// can never change the merged record order.
@@ -87,6 +111,7 @@ impl Default for SourceSetConfig {
     fn default() -> Self {
         SourceSetConfig {
             queue_capacity: 4096,
+            batch_records: DEFAULT_BATCH,
             rate_limit: None,
             max_reconnects: 8,
         }
@@ -103,6 +128,8 @@ pub struct SourceStats {
     /// Records the producer pushed into the queue in this run
     /// (excludes any resume fast-forward).
     pub produced: u64,
+    /// Batches the producer pushed into the queue in this run.
+    pub batches: u64,
     /// Reconnect attempts made after a failure.
     pub reconnects: u64,
     /// Failed sessions skipped over (corrupt record hit or open error).
@@ -112,10 +139,11 @@ pub struct SourceStats {
     /// The source was abandoned after `max_reconnects` consecutive
     /// failures without forward progress.
     pub dead: bool,
-    /// Records currently buffered (queue plus the merge head).
+    /// Records currently buffered (queued batches plus the partially
+    /// consumed merge head batch).
     pub queue_depth: usize,
-    /// Highest queue occupancy observed; never exceeds the configured
-    /// capacity.
+    /// Highest queue occupancy observed, records; never exceeds the
+    /// configured capacity.
     pub queue_peak: usize,
 }
 
@@ -130,11 +158,15 @@ enum FeedEnd {
 
 #[derive(Debug)]
 struct FeedState {
-    queue: VecDeque<PacketRecord>,
+    /// Whole batches in flight; `queued` tracks their record total,
+    /// which is what the capacity bounds.
+    queue: VecDeque<Vec<PacketRecord>>,
+    queued: usize,
     terminal: Option<FeedEnd>,
     /// Consumer gone: producers stop pushing and exit.
     closed: bool,
     produced: u64,
+    batches: u64,
     reconnects: u64,
     drops: u64,
     peak: usize,
@@ -142,7 +174,8 @@ struct FeedState {
 
 /// One bounded MPSC-of-one queue between a producer thread and the
 /// merging consumer, with both-ways blocking (backpressure on the
-/// producer, watermark wait on the consumer).
+/// producer, watermark wait on the consumer). The unit of transfer is
+/// a whole record batch; the capacity is still counted in records.
 #[derive(Debug)]
 struct FeedShared {
     capacity: usize,
@@ -157,9 +190,11 @@ impl FeedShared {
             capacity: capacity.max(1),
             state: Mutex::new(FeedState {
                 queue: VecDeque::new(),
+                queued: 0,
                 terminal: None,
                 closed: false,
                 produced: 0,
+                batches: 0,
                 reconnects: 0,
                 drops: 0,
                 peak: 0,
@@ -169,31 +204,40 @@ impl FeedShared {
         }
     }
 
-    /// Producer side: blocks while the queue is at capacity. Returns
-    /// `false` when the consumer has gone away.
-    fn push(&self, record: PacketRecord) -> bool {
+    /// Producer side: blocks while the whole batch does not fit under
+    /// the record capacity. Returns `false` when the consumer has gone
+    /// away. Batches are non-empty and never exceed the capacity (the
+    /// producer caps them), so progress is always possible and the
+    /// observed peak never exceeds the capacity.
+    fn push_batch(&self, batch: Vec<PacketRecord>) -> bool {
+        debug_assert!(!batch.is_empty(), "producers never push empty batches");
+        debug_assert!(batch.len() <= self.capacity, "batches are capacity-capped");
         let mut state = self.state.lock().expect("feed lock");
-        while state.queue.len() >= self.capacity && !state.closed {
+        while state.queued + batch.len() > self.capacity && !state.closed {
             state = self.not_full.wait(state).expect("feed lock");
         }
         if state.closed {
             return false;
         }
-        state.queue.push_back(record);
-        state.produced += 1;
-        state.peak = state.peak.max(state.queue.len());
+        state.queued += batch.len();
+        state.produced += batch.len() as u64;
+        state.batches += 1;
+        state.peak = state.peak.max(state.queued);
+        state.queue.push_back(batch);
         self.not_empty.notify_one();
         true
     }
 
-    /// Consumer side: blocks until a record is available or the feed
-    /// has terminated (then `None`, permanently).
-    fn pop(&self) -> Option<PacketRecord> {
+    /// Consumer side: blocks until a batch is available or the feed
+    /// has terminated (then `None`, permanently). Returned batches are
+    /// never empty.
+    fn pop_batch(&self) -> Option<Vec<PacketRecord>> {
         let mut state = self.state.lock().expect("feed lock");
         loop {
-            if let Some(record) = state.queue.pop_front() {
+            if let Some(batch) = state.queue.pop_front() {
+                state.queued -= batch.len();
                 self.not_full.notify_one();
-                return Some(record);
+                return Some(batch);
             }
             if state.terminal.is_some() {
                 return None;
@@ -235,11 +279,12 @@ impl FeedShared {
         SourceStats {
             delivered: 0, // filled in by SourceSet
             produced: state.produced,
+            batches: state.batches,
             reconnects: state.reconnects,
             drops: state.drops,
             eof: state.terminal == Some(FeedEnd::Eof),
             dead: state.terminal == Some(FeedEnd::Dead),
-            queue_depth: state.queue.len(),
+            queue_depth: state.queued,
             queue_peak: state.peak,
         }
     }
@@ -247,6 +292,7 @@ impl FeedShared {
 
 #[derive(Debug, Clone, Copy)]
 struct ProducerConfig {
+    batch_records: usize,
     rate_limit: Option<u64>,
     max_reconnects: u32,
 }
@@ -264,16 +310,57 @@ fn pace(shared: &FeedShared, started: Instant, pushed: u64, rate: u64) {
     }
 }
 
+/// Pushes the accumulated batch, pacing first when a rate limit is
+/// set. Advances the cursor by the records handed over. Returns
+/// `false` when the consumer has gone away.
+fn flush_batch(
+    shared: &FeedShared,
+    batch: &mut Vec<PacketRecord>,
+    batch_cap: usize,
+    cursor: &mut u64,
+    resume_from: u64,
+    started: Option<Instant>,
+    rate_limit: Option<u64>,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    if let (Some(rate), Some(started)) = (rate_limit, started) {
+        pace(shared, started, *cursor - resume_from, rate);
+        if shared.is_closed() {
+            return false;
+        }
+    }
+    let pushed = batch.len() as u64;
+    if !shared.push_batch(std::mem::replace(batch, Vec::with_capacity(batch_cap))) {
+        return false;
+    }
+    *cursor += pushed;
+    true
+}
+
 /// The per-source producer loop: open → fast-forward to the cursor →
-/// pace → push, reconnecting on failure and abandoning the source after
-/// `max_reconnects` consecutive failures without forward progress.
+/// accumulate a batch → pace → push, reconnecting on failure and
+/// abandoning the source after `max_reconnects` consecutive failures
+/// without forward progress.
+///
+/// Unpaced producers (`rate_limit: None`) do **zero** wall-clock work:
+/// no `Instant::now()` is ever taken, per record or per batch. Under a
+/// rate limit the clock is read once per batch flush, never per record.
 fn run_producer(
     mut factory: Box<dyn SourceFactory>,
     shared: &FeedShared,
     resume_from: u64,
     config: ProducerConfig,
 ) {
-    let started = Instant::now();
+    let started = config.rate_limit.map(|_| Instant::now());
+    // A full batch must always fit under the queue's record capacity;
+    // under pacing, batches shrink to ~20 ms of records so the shaped
+    // arrival stays smooth instead of arriving in rate/limit bursts.
+    let pace_cap = config
+        .rate_limit
+        .map_or(usize::MAX, |rate| (rate / 50).max(1) as usize);
+    let batch_cap = config.batch_records.min(pace_cap).clamp(1, shared.capacity);
     // Absolute stream position of the next record to push; starts at
     // the restored cursor and only ever grows.
     let mut cursor = resume_from;
@@ -282,6 +369,7 @@ fn run_producer(
     // budget — a flaky-but-advancing source is never abandoned.
     let mut best = resume_from;
     let mut failures: u32 = 0;
+    let mut batch: Vec<PacketRecord> = Vec::with_capacity(batch_cap);
     loop {
         if shared.is_closed() {
             return;
@@ -307,30 +395,63 @@ fn run_producer(
                 }
             }
             while !failed_session {
-                if let Some(rate) = config.rate_limit {
-                    pace(shared, started, cursor - resume_from, rate);
-                    if shared.is_closed() {
-                        return;
-                    }
-                }
                 match source.next_record() {
                     Some(Ok(record)) => {
-                        if !shared.push(record) {
-                            return;
-                        }
+                        batch.push(record);
                         pos += 1;
-                        cursor += 1;
-                        if pos > best {
-                            best = pos;
-                            failures = 0;
+                        if batch.len() >= batch_cap {
+                            if !flush_batch(
+                                shared,
+                                &mut batch,
+                                batch_cap,
+                                &mut cursor,
+                                resume_from,
+                                started,
+                                config.rate_limit,
+                            ) {
+                                return;
+                            }
+                            if pos > best {
+                                best = pos;
+                                failures = 0;
+                            }
                         }
                     }
                     Some(Err(_)) => failed_session = true,
                     None => {
+                        if !flush_batch(
+                            shared,
+                            &mut batch,
+                            batch_cap,
+                            &mut cursor,
+                            resume_from,
+                            started,
+                            config.rate_limit,
+                        ) {
+                            return;
+                        }
                         shared.finish(FeedEnd::Eof);
                         return;
                     }
                 }
+            }
+            // Records read before the failure were delivered by the
+            // stream; hand them over so the reconnect skip-count stays
+            // exact and nothing is re-read.
+            if !flush_batch(
+                shared,
+                &mut batch,
+                batch_cap,
+                &mut cursor,
+                resume_from,
+                started,
+                config.rate_limit,
+            ) {
+                return;
+            }
+            if pos > best {
+                best = pos;
+                failures = 0;
             }
         }
         shared.add_drop();
@@ -343,18 +464,40 @@ fn run_producer(
     }
 }
 
+/// Length of the emittable run: the prefix of `slice` (the winning
+/// feed `index`'s head batch) ordered strictly before the strongest
+/// competing head `(cts, cidx)` in the `(timestamp, source index)`
+/// total order. Galloping search: runs are often short when feeds
+/// interleave tightly, but can span the whole batch when time ranges
+/// are disjoint, so probe exponentially and binary-search the final
+/// interval — O(log run), not O(log batch).
+fn run_len(slice: &[PacketRecord], index: usize, cts: Timestamp, cidx: usize) -> usize {
+    let wins = |r: &PacketRecord| r.ts < cts || (r.ts == cts && index < cidx);
+    debug_assert!(wins(&slice[0]), "the popped heap winner must win");
+    let n = slice.len();
+    let mut bound = 1usize;
+    while bound < n && wins(&slice[bound]) {
+        bound *= 2;
+    }
+    let lo = bound / 2 + 1;
+    let hi = bound.min(n);
+    lo + slice[lo..hi].partition_point(wins)
+}
+
 /// N concurrent sources merged into one deterministic record stream.
 ///
 /// Construction spawns one producer thread per source; dropping the set
 /// releases and joins them. The set itself implements [`StreamSource`],
 /// so it plugs into anything a single source feeds — notably the live
-/// engine, which consumes it via `pull_chunk` unchanged.
+/// engine, which consumes it via `pull_chunk` unchanged (and gets whole
+/// runs per heap adjustment, not single records).
 #[derive(Debug)]
 pub struct SourceSet {
     feeds: Vec<Arc<FeedShared>>,
     handles: Vec<std::thread::JoinHandle<()>>,
-    /// The merge head pulled from each feed but not yet emitted.
-    heads: Vec<Option<PacketRecord>>,
+    /// The head batch pulled from each feed but not yet emitted; the
+    /// iterator's next element is the feed's merge head.
+    heads: Vec<std::vec::IntoIter<PacketRecord>>,
     /// Min-heap over `(head timestamp, source index)`.
     heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
     delivered: Vec<u64>,
@@ -390,6 +533,7 @@ impl SourceSet {
         for (index, factory) in factories.into_iter().enumerate() {
             let shared = Arc::new(FeedShared::new(config.queue_capacity));
             let producer = ProducerConfig {
+                batch_records: config.batch_records.max(1),
                 rate_limit: config.rate_limit,
                 max_reconnects: config.max_reconnects,
             };
@@ -406,24 +550,62 @@ impl SourceSet {
         SourceSet {
             feeds,
             handles,
-            heads: vec![None; n],
+            heads: (0..n).map(|_| Vec::new().into_iter()).collect(),
             heap: BinaryHeap::with_capacity(n),
             delivered: cursors.to_vec(),
             primed: false,
         }
     }
 
-    /// Waits for the first head of every feed (or its termination) so
-    /// the merge starts watermark-complete.
+    /// Blocks for feed `index`'s next head batch (or its termination)
+    /// and re-enters it into the heap.
+    fn refill(&mut self, index: usize) {
+        if let Some(batch) = self.feeds[index].pop_batch() {
+            let iter = batch.into_iter();
+            let ts = iter.as_slice()[0].ts;
+            self.heads[index] = iter;
+            self.heap.push(Reverse((ts, index)));
+        }
+    }
+
+    /// Waits for the first head batch of every feed (or its
+    /// termination) so the merge starts watermark-complete.
     fn prime(&mut self) {
         if self.primed {
             return;
         }
         self.primed = true;
         for index in 0..self.feeds.len() {
-            if let Some(record) = self.feeds[index].pop() {
-                self.heap.push(Reverse((record.ts, index)));
-                self.heads[index] = Some(record);
+            self.refill(index);
+        }
+    }
+
+    /// Emits up to `max` records into `out` in merged event-time
+    /// order, one *run* per heap adjustment: the winning feed's whole
+    /// emittable prefix moves in one go. Blocks until every live
+    /// source has a head to compare; stops early only when all sources
+    /// are exhausted.
+    fn merge_into(&mut self, out: &mut Vec<PacketRecord>, max: usize) {
+        self.prime();
+        while out.len() < max {
+            let Some(Reverse((_, index))) = self.heap.pop() else {
+                return;
+            };
+            let competitor = self.heap.peek().map(|&Reverse(pair)| pair);
+            let head = &mut self.heads[index];
+            let slice = head.as_slice();
+            let run = match competitor {
+                None => slice.len(),
+                Some((cts, cidx)) => run_len(slice, index, cts, cidx),
+            };
+            let take = run.min(max - out.len());
+            out.extend(head.by_ref().take(take));
+            self.delivered[index] += take as u64;
+            if self.heads[index].as_slice().is_empty() {
+                self.refill(index);
+            } else {
+                let ts = self.heads[index].as_slice()[0].ts;
+                self.heap.push(Reverse((ts, index)));
             }
         }
     }
@@ -434,17 +616,21 @@ impl SourceSet {
     pub fn next_merged(&mut self) -> Option<PacketRecord> {
         self.prime();
         let Reverse((_, index)) = self.heap.pop()?;
-        let record = self.heads[index].take().expect("heap entry has a head");
+        let record = self.heads[index].next().expect("heap entry has a head");
         self.delivered[index] += 1;
-        if let Some(next) = self.feeds[index].pop() {
-            self.heap.push(Reverse((next.ts, index)));
-            self.heads[index] = Some(next);
+        if self.heads[index].as_slice().is_empty() {
+            self.refill(index);
+        } else {
+            let ts = self.heads[index].as_slice()[0].ts;
+            self.heap.push(Reverse((ts, index)));
         }
         Some(record)
     }
 
     /// Per-source resume cursors (absolute records delivered), the
-    /// payload of a schema-v2 checkpoint.
+    /// payload of a schema-v2 checkpoint. Records still buffered in a
+    /// head batch are *not* counted — only what the consumer actually
+    /// pulled — so a checkpoint taken mid-batch restores exactly.
     pub fn cursors(&self) -> Vec<u64> {
         self.delivered.clone()
     }
@@ -473,11 +659,10 @@ impl SourceSet {
             .map(|(index, feed)| {
                 let mut stats = feed.stats();
                 stats.delivered = self.delivered[index];
-                // A held merge head left the queue but was not emitted
-                // yet; count it as buffered so records are conserved.
-                if self.heads[index].is_some() {
-                    stats.queue_depth += 1;
-                }
+                // A held head batch left the queue but was not fully
+                // emitted yet; count the remainder as buffered so
+                // records are conserved.
+                stats.queue_depth += self.heads[index].as_slice().len();
                 stats
             })
             .collect()
@@ -489,6 +674,14 @@ impl StreamSource for SourceSet {
         // Source errors are handled inside the producers (reconnect or
         // abandon), so the merged stream itself never yields `Err`.
         self.next_merged().map(Ok)
+    }
+
+    fn pull_chunk(&mut self, max: usize) -> Result<Vec<PacketRecord>, CaptureError> {
+        // Run-at-a-time emission instead of the default per-record
+        // loop: this is the fast path the live engine pumps.
+        let mut chunk = Vec::with_capacity(max.min(DEFAULT_BATCH * 4));
+        self.merge_into(&mut chunk, max);
+        Ok(chunk)
     }
 }
 
@@ -506,7 +699,7 @@ impl Drop for SourceSet {
 /// The synchronous reference merge: the exact `(timestamp, source
 /// index)` min-heap [`SourceSet`] runs, stated as a pure function. The
 /// multi-source contract is that a `SourceSet` over `sources` delivers
-/// precisely this sequence.
+/// precisely this sequence, whatever its batch boundaries.
 pub fn merge_records(sources: &[Vec<PacketRecord>]) -> Vec<PacketRecord> {
     let mut cursors = vec![0usize; sources.len()];
     let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = sources
@@ -601,6 +794,8 @@ mod tests {
         let stats = set.stats();
         assert!(stats.iter().all(|s| s.eof && !s.dead));
         assert_eq!(stats.iter().map(|s| s.produced).sum::<u64>(), 10);
+        // Each feed fits in one batch at the default target.
+        assert!(stats.iter().all(|s| s.batches == 1), "{stats:?}");
     }
 
     #[test]
@@ -610,6 +805,37 @@ mod tests {
         let merged = merge_records(&[a.clone(), b.clone()]);
         // Source 0 wins ties while it has a head, then source 1.
         assert_eq!(merged, vec![a[0].clone(), a[1].clone(), b[0].clone()]);
+    }
+
+    #[test]
+    fn run_cutoff_respects_the_tie_rule() {
+        let slice: Vec<_> = [1, 2, 3, 3, 4].iter().map(|&t| record(t)).collect();
+        // Competitor at ts=3: a lower-indexed winner emits through its
+        // own ts=3 records; a higher-indexed winner stops before them.
+        assert_eq!(run_len(&slice, 0, Timestamp::from_micros(3), 1), 4);
+        assert_eq!(run_len(&slice, 2, Timestamp::from_micros(3), 1), 2);
+        // Competitor far in the future: the whole batch is one run.
+        assert_eq!(run_len(&slice, 2, Timestamp::from_micros(99), 1), 5);
+    }
+
+    #[test]
+    fn batch_boundaries_never_change_the_merge() {
+        let a: Vec<_> = (0..200).map(|t| record(t * 3)).collect();
+        let b: Vec<_> = (0..200).map(|t| record(t * 3 + 1)).collect();
+        let splits = vec![a, b];
+        let reference = merge_records(&splits);
+        for batch_records in [1usize, 2, 7, 4096] {
+            let factories = splits
+                .iter()
+                .map(|s| boxed(memory_factory(s.clone())))
+                .collect();
+            let config = SourceSetConfig {
+                batch_records,
+                ..SourceSetConfig::default()
+            };
+            let mut set = SourceSet::spawn(factories, &config);
+            assert_eq!(drain(&mut set), reference, "batch={batch_records}");
+        }
     }
 
     #[test]
@@ -639,6 +865,7 @@ mod tests {
         let stats = set.stats();
         assert!(stats[1].eof);
         assert_eq!(stats[1].delivered, 0);
+        assert_eq!(stats[1].batches, 0);
     }
 
     #[test]
@@ -702,6 +929,22 @@ mod tests {
         let mut set = SourceSet::resume(factories, &SourceSetConfig::default(), &[99]);
         assert!(set.next_merged().is_none());
         assert!(set.stats()[0].eof);
+    }
+
+    #[test]
+    fn cursors_exclude_records_held_in_the_head_batch() {
+        // Pull a prefix that ends mid-batch: the cursor must count only
+        // the emitted records, and the held remainder must show up as
+        // buffered depth — the invariant v2 checkpoints rest on.
+        let records: Vec<_> = (0..100).map(record).collect();
+        let factories = vec![boxed(memory_factory(records.clone()))];
+        let mut set = SourceSet::spawn(factories, &SourceSetConfig::default());
+        let chunk = set.pull_chunk(37).unwrap();
+        assert_eq!(chunk, records[..37].to_vec());
+        assert_eq!(set.cursors(), vec![37]);
+        let stats = &set.stats()[0];
+        assert_eq!(stats.delivered, 37);
+        assert_eq!(stats.queue_depth, 63, "held remainder stays buffered");
     }
 
     #[test]

@@ -174,12 +174,18 @@ impl Histogram {
     /// Bucket-interpolated quantile estimate (`0.0 ..= 1.0`), in the
     /// histogram's native unit. Observations in the overflow bucket
     /// saturate to the largest finite bound. Returns `None` when empty.
+    ///
+    /// The rank is continuous (`q * count`), not rounded to a whole
+    /// observation: with few samples per bucket an integer rank makes
+    /// every quantile collapse to the bucket's upper bound (at one
+    /// observation, p50 == p99 structurally). Continuous interpolation
+    /// keeps distinct quantiles distinct wherever the bounds allow.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let total = self.count();
         if total == 0 {
             return None;
         }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let rank = q.clamp(0.0, 1.0) * total as f64;
         let counts = self.bucket_counts();
         let mut cum = 0u64;
         for (idx, &c) in counts.iter().enumerate() {
@@ -188,7 +194,7 @@ impl Histogram {
             }
             let prev_cum = cum;
             cum += c;
-            if cum >= rank {
+            if cum as f64 >= rank {
                 let lower = if idx == 0 { 0 } else { self.0.bounds[idx - 1] };
                 let upper = self
                     .0
@@ -196,7 +202,7 @@ impl Histogram {
                     .get(idx)
                     .copied()
                     .unwrap_or_else(|| self.0.bounds.last().copied().unwrap_or(0));
-                let within = (rank - prev_cum) as f64 / c as f64;
+                let within = ((rank - prev_cum as f64) / c as f64).clamp(0.0, 1.0);
                 return Some(lower as f64 + (upper.saturating_sub(lower)) as f64 * within);
             }
         }
@@ -204,10 +210,16 @@ impl Histogram {
     }
 }
 
-/// Stage-walltime buckets (microseconds): 100 µs … 60 s.
+/// Stage-walltime buckets (microseconds): 25 µs … 60 s, roughly
+/// 1.5–2.5× steps. Stage walltimes at current speeds cluster in the
+/// 50 µs – 100 ms band; the original decade-ish buckets were so wide
+/// there that p50 and p99 landed in the same bucket and reported the
+/// same interpolated value (`BENCH_shard_scaling.json` showed
+/// p50 == p99 for every stage).
 pub const STAGE_WALLTIME_MICROS_BUCKETS: &[u64] = &[
-    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
-    1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+    25, 50, 100, 150, 250, 400, 650, 1_000, 1_500, 2_500, 4_000, 6_500, 10_000, 15_000, 25_000,
+    40_000, 65_000, 100_000, 150_000, 250_000, 400_000, 650_000, 1_000_000, 1_500_000, 2_500_000,
+    4_000_000, 6_500_000, 10_000_000, 15_000_000, 30_000_000, 60_000_000,
 ];
 
 /// Attack-duration buckets (microseconds): 1 s … 1 h. The paper's
@@ -498,6 +510,22 @@ mod tests {
         assert!(p50 > 10.0 && p50 <= 100.0, "p50={p50}");
         // p99 lands in the overflow bucket -> saturates at 1000.
         assert_eq!(h.quantile(0.99).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn sparse_histogram_quantiles_stay_distinguishable() {
+        // One observation per stage is the batch pipeline's normal
+        // case; the continuous rank must still spread p50 and p99
+        // across the bucket instead of collapsing both to its upper
+        // bound.
+        let h = Histogram::detached(&[10, 100, 1000]);
+        h.observe(50);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < p99, "p50={p50} p99={p99}");
+        assert!(p50 > 10.0 && p99 <= 100.0, "both stay in (10, 100]");
+        // Quantiles remain monotone in q.
+        assert!(h.quantile(0.01).unwrap() <= p50);
     }
 
     #[test]

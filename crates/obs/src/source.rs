@@ -24,6 +24,8 @@ use std::sync::{Mutex, OnceLock};
 pub struct SourceSample {
     /// Records delivered to the consumer (absolute stream position).
     pub delivered: u64,
+    /// Record batches pushed through the feed's bounded queue.
+    pub batches: u64,
     /// Reconnect attempts after failures.
     pub reconnects: u64,
     /// Failed sessions skipped over (corrupt record or open error).
@@ -60,6 +62,10 @@ pub struct SourceFeedMetrics {
     /// `quicsand_source_records_total{source=...}` ==
     /// [`SourceSample::delivered`].
     pub records: Counter,
+    /// `quicsand_source_batches_total{source=...}` — batched hand-offs
+    /// through the queue; `records_total / batches_total` is the
+    /// realized amortization factor.
+    pub batches: Counter,
     /// `quicsand_source_reconnects_total{source=...}`.
     pub reconnects: Counter,
     /// `quicsand_source_drops_total{source=...}`.
@@ -79,6 +85,12 @@ impl SourceFeedMetrics {
             records: registry.counter_with(
                 "quicsand_source_records_total",
                 "Records delivered by this feed into the merged stream",
+                Stability::Volatile,
+                labels,
+            ),
+            batches: registry.counter_with(
+                "quicsand_source_batches_total",
+                "Record batches pushed through the feed's bounded queue",
                 Stability::Volatile,
                 labels,
             ),
@@ -147,6 +159,7 @@ impl SourceSetMetrics {
         assert_eq!(now.len(), self.feeds.len(), "one new sample per feed");
         for ((feed, prev), now) in self.feeds.iter().zip(prev).zip(now) {
             feed.records.add(now.delivered - prev.delivered);
+            feed.batches.add(now.batches - prev.batches);
             feed.reconnects.add(now.reconnects - prev.reconnects);
             feed.drops.add(now.drops - prev.drops);
             feed.queue_depth.set(now.queue_depth);
@@ -184,6 +197,11 @@ impl SourceSetMetrics {
                 "quicsand_source_records_total",
                 feed.records.get(),
                 sample.delivered,
+            );
+            check(
+                "quicsand_source_batches_total",
+                feed.batches.get(),
+                sample.batches,
             );
             check(
                 "quicsand_source_reconnects_total",
@@ -236,6 +254,7 @@ mod tests {
         let mid = [
             SourceSample {
                 delivered: 10,
+                batches: 2,
                 reconnects: 1,
                 drops: 1,
                 queue_depth: 3,
@@ -243,6 +262,7 @@ mod tests {
             },
             SourceSample {
                 delivered: 4,
+                batches: 1,
                 ..SourceSample::default()
             },
         ];
@@ -251,6 +271,7 @@ mod tests {
         let end = [
             SourceSample {
                 delivered: 25,
+                batches: 4,
                 reconnects: 2,
                 drops: 2,
                 queue_depth: 0,
@@ -258,6 +279,7 @@ mod tests {
             },
             SourceSample {
                 delivered: 9,
+                batches: 3,
                 queue_peak: 2,
                 ..SourceSample::default()
             },
@@ -287,6 +309,7 @@ mod tests {
         let full = registry.render_prometheus(false);
         for family in [
             "quicsand_source_records_total",
+            "quicsand_source_batches_total",
             "quicsand_source_reconnects_total",
             "quicsand_source_drops_total",
             "quicsand_source_queue_depth",

@@ -28,6 +28,8 @@
 //! * [`misconfig`] — low-volume response noise (Appendix B).
 //! * [`scenario`] — the orchestrator producing a time-sorted capture
 //!   and the ground truth for validation.
+//! * [`streaming`] — constant-memory lazy record generation for the
+//!   benchmark scale ladder (10M+ records without materializing).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +41,8 @@ pub mod misconfig;
 pub mod research;
 pub mod scanners;
 pub mod scenario;
+pub mod streaming;
 
 pub use config::ScenarioConfig;
 pub use scenario::{GroundTruth, Scenario};
+pub use streaming::{RecordStream, StreamConfig};

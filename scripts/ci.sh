@@ -4,6 +4,7 @@
 #   scripts/ci.sh              # everything (what a PR must pass)
 #   scripts/ci.sh --quick      # skip the release build, run debug tests only
 #   scripts/ci.sh bench-smoke  # only the benchmark-regression gate
+#   scripts/ci.sh scale-smoke  # only the medium-tier streaming ladder gate
 #
 # The repo vendors all third-party dependencies (vendor/), so this runs
 # without network access.
@@ -60,8 +61,66 @@ bench_smoke() {
   echo "bench-smoke: baselines validated, no regression beyond tolerance — OK"
 }
 
+scale_smoke() {
+  # Streaming scale-ladder gate: the medium tier (1M records, generated
+  # lazily — the trace is never materialized, so memory stays constant)
+  # through multi_source_throughput and shard_scaling. The multi-source
+  # run additionally asserts the fan-in tax: 4-source wall time must
+  # stay within 1.5x of single-source. Fresh per-tier reports are
+  # schema-validated and gated against the committed
+  # BENCH_<name>@medium.json baselines (same tolerance/skip knobs as
+  # bench-smoke).
+  echo "==> scale-smoke: medium-tier streaming ladder (1M records)"
+  local scale_dir
+  scale_dir="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$scale_dir'" RETURN
+  for bench in multi_source shard_scaling; do
+    bin="$bench"
+    [[ "$bench" == "multi_source" ]] && bin="multi_source_throughput"
+    ratio_env=()
+    [[ "$bench" == "multi_source" ]] && ratio_env=(QUICSAND_MULTI_RATIO_MAX=1.5)
+    attempts=3
+    for attempt in $(seq 1 $attempts); do
+      # The ratio assertion lives inside the bin, so a noisy-runner
+      # violation also lands in the retry loop instead of hard-failing.
+      if ! env "${ratio_env[@]}" QUICSAND_BENCH_SCALE=medium \
+        QUICSAND_BENCH_DIR="$scale_dir" \
+        cargo run -q --release -p quicsand-bench --bin "$bin" >/dev/null; then
+        if [[ "$attempt" -eq "$attempts" ]]; then
+          echo "scale-smoke: $bench run failed on all $attempts attempts" >&2
+          exit 1
+        fi
+        echo "scale-smoke: $bench attempt $attempt failed; retrying (noisy runner?)" >&2
+        continue
+      fi
+      cargo run -q --release -p quicsand-bench --bin bench_compare -- \
+        --validate "BENCH_$bench@medium.json" "$scale_dir/BENCH_$bench@medium.json"
+      if [[ "${QUICSAND_BENCH_SKIP_COMPARE:-0}" == "1" ]]; then
+        break
+      fi
+      if cargo run -q --release -p quicsand-bench --bin bench_compare -- \
+        --baseline "BENCH_$bench@medium.json" \
+        --current "$scale_dir/BENCH_$bench@medium.json"; then
+        break
+      elif [[ "$attempt" -eq "$attempts" ]]; then
+        echo "scale-smoke: $bench failed the gate on all $attempts attempts" >&2
+        exit 1
+      else
+        echo "scale-smoke: $bench attempt $attempt failed; retrying (noisy runner?)" >&2
+      fi
+    done
+  done
+  echo "scale-smoke: medium tier streamed in constant memory, fan-in ratio <= 1.5x — OK"
+}
+
 if [[ "${1:-}" == "bench-smoke" ]]; then
   bench_smoke
+  exit 0
+fi
+
+if [[ "${1:-}" == "scale-smoke" ]]; then
+  scale_smoke
   exit 0
 fi
 
@@ -182,8 +241,10 @@ echo "metrics-smoke: exposition complete, counters reconcile, exit 0 — OK"
 
 if [[ $quick -eq 0 ]]; then
   bench_smoke
+  scale_smoke
 else
   echo "==> bench-smoke skipped (--quick)"
+  echo "==> scale-smoke skipped (--quick)"
 fi
 
 echo "CI green."

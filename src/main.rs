@@ -80,7 +80,8 @@ USAGE:
 
     quicsand live [file.qscp] [--input <file.qscp>]... [--window MINS]
                   [--weight W] [--escalate W] [--shards N] [--chunk N]
-                  [--source-rate N] [--source-queue N] [--max-victims N]
+                  [--source-rate N] [--source-queue N] [--source-batch N]
+                  [--max-victims N]
                   [--checkpoint-every N] [--alert-format text|json]
                   [--metrics-out <file>] [--verbose]
         Stream one or more captures through the live flood-detection
@@ -95,6 +96,8 @@ USAGE:
         tier multiplier; --shards runs per-source detector shards
         (alerts are identical at any N); --source-rate paces each feed
         (records/s); --source-queue bounds each feed's queue (records);
+        --source-batch sets the per-feed transfer batch target
+        (records; batches never change the merged order);
         --max-victims caps tracked victims per channel (LRU eviction);
         --checkpoint-every N snapshots engine + per-source cursors
         every N records (schema v2; v1 engine-only checkpoints still
@@ -512,6 +515,14 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(SourceSetConfig::default().queue_capacity);
+    let source_batch: usize = flag_value(args, "--source-batch")?
+        .map(|v| {
+            v.parse::<usize>().ok().filter(|&b| b >= 1).ok_or(format!(
+                "invalid --source-batch `{v}` (want an integer >= 1)"
+            ))
+        })
+        .transpose()?
+        .unwrap_or(SourceSetConfig::default().batch_records);
     let source_rate: Option<u64> = flag_value(args, "--source-rate")?
         .map(|v| {
             v.parse::<u64>()
@@ -550,6 +561,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     }
     let set_config = SourceSetConfig {
         queue_capacity: source_queue,
+        batch_records: source_batch,
         rate_limit: source_rate,
         ..SourceSetConfig::default()
     };

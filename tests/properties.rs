@@ -486,3 +486,90 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The batched run-merge contract: whatever the batch boundaries
+    /// (sizes {1, 2, 7, 4096}), however tiny the queues, with a seeded
+    /// flaky feed reconnect-resuming mid-stream, and across a
+    /// checkpoint/restore taken mid-batch (the consumer cut at an
+    /// arbitrary point, almost never a batch boundary), the multiplexer
+    /// delivers exactly `merge_records` — record for record.
+    #[test]
+    fn prop_batched_run_merge_equals_merge_records_across_restore(
+        raw in proptest::collection::vec((0u64..200_000, 0usize..3), 0..600),
+        batch_sel in 0usize..4,
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+        cut in 0.0f64..1.0,
+    ) {
+        use quicsand_faults::source::{FlakyFactory, FlakyPlan};
+        use quicsand_net::multi::{
+            memory_factory, merge_records, SourceFactory, SourceSet, SourceSetConfig,
+        };
+        use quicsand_net::StreamSource;
+
+        let batch = [1usize, 2, 7, 4096][batch_sel];
+        let sources = 3usize;
+        let mut parts = vec![Vec::new(); sources];
+        for (ts, slot) in raw {
+            parts[slot % sources].push(PacketRecord::tcp(
+                Timestamp::from_micros(ts),
+                ip((ts % 250) as u8),
+                ip(251),
+                443,
+                50_000,
+                TcpFlags::SYN_ACK,
+            ));
+        }
+        for part in &mut parts {
+            part.sort_by_key(|r| r.ts);
+        }
+        let expected = merge_records(&parts);
+        let plan = FlakyPlan::new(seed, 3, parts[1].len() as u64);
+        let config = SourceSetConfig {
+            queue_capacity: capacity,
+            batch_records: batch,
+            // A restored flaky feed replays its schedule from open #0
+            // and may burn failures during the resume skip; the budget
+            // must cover the whole plan.
+            max_reconnects: plan.points().len() as u32 + 8,
+            ..SourceSetConfig::default()
+        };
+        let make_factories = || -> Vec<Box<dyn SourceFactory>> {
+            vec![
+                Box::new(memory_factory(parts[0].clone())),
+                Box::new(FlakyFactory::new(
+                    memory_factory(parts[1].clone()),
+                    plan.clone(),
+                )),
+                Box::new(memory_factory(parts[2].clone())),
+            ]
+        };
+
+        // Phase 1: pull an arbitrary prefix — lands mid-batch for any
+        // batch size > 1 — then checkpoint the cursors and tear down.
+        let prefix = (cut * expected.len() as f64) as usize;
+        let mut set = SourceSet::spawn(make_factories(), &config);
+        let mut merged = set.pull_chunk(prefix).expect("merge never errors");
+        prop_assert_eq!(merged.len(), prefix.min(expected.len()));
+        let cursors = set.cursors();
+        prop_assert_eq!(cursors.iter().sum::<u64>(), merged.len() as u64);
+        drop(set);
+
+        // Phase 2: resume from the cursors with fresh factories (the
+        // flaky feed starts its schedule over) and drain to the end.
+        let mut restored = SourceSet::resume(make_factories(), &config, &cursors);
+        while let Some(record) = restored.next_merged() {
+            merged.push(record);
+        }
+
+        prop_assert_eq!(&merged, &expected, "batch={} capacity={}", batch, capacity);
+        let stats = restored.stats();
+        prop_assert!(stats.iter().all(|s| s.eof && !s.dead), "{:?}", stats);
+        prop_assert!(
+            stats.iter().all(|s| s.queue_peak <= capacity),
+            "batched transfer must respect the record capacity: {:?}",
+            stats
+        );
+    }
+}
