@@ -17,6 +17,7 @@
 
 use crate::metrics::AnalysisMetrics;
 use quicsand_dissect::Direction;
+use quicsand_events::{EventMeta, Subscriber};
 use quicsand_net::Duration;
 use quicsand_obs::MetricsRegistry;
 use quicsand_sessions::dos::{detect_attacks, Attack, AttackProtocol, DosThresholds};
@@ -25,7 +26,8 @@ use quicsand_sessions::session::{Session, SessionConfig, Sessionizer, Sessionize
 use quicsand_telescope::parallel::{ingest_shard_with, partition_by_source};
 pub use quicsand_telescope::PipelineStats;
 use quicsand_telescope::{
-    GuardConfig, HourlySeries, IngestStats, QuicObservation, ResearchFilter, TelescopePipeline,
+    Admitted, GuardConfig, HourlySeries, IngestStats, QuicObservation, ResearchFilter,
+    TelescopePipeline,
 };
 use quicsand_traffic::Scenario;
 use serde::{Deserialize, Serialize};
@@ -281,6 +283,66 @@ impl Analysis {
             registry,
             metrics,
         }
+    }
+
+    /// [`Analysis::run`], additionally mirroring the run as a typed
+    /// event stream: per-record wire rejections and Retry/VN sightings
+    /// plus the session lifecycle of the flood-relevant channels
+    /// (`quic` responses and the `tcp_icmp` baseline).
+    ///
+    /// The events come from a dedicated single-threaded forensic
+    /// re-pass over the capture — never from the sharded workers — so
+    /// the stream is byte-identical at every `config.threads`, and a
+    /// disabled subscriber (`enabled() == false`) skips the re-pass
+    /// entirely: `run_with` then costs exactly what [`Analysis::run`]
+    /// does.
+    pub fn run_with<S: Subscriber>(
+        scenario: &Scenario,
+        config: &AnalysisConfig,
+        subscriber: &mut S,
+    ) -> Analysis {
+        let analysis = Self::run(scenario, config);
+        if subscriber.enabled() {
+            Self::emit_events(scenario, &analysis, subscriber);
+        }
+        analysis
+    }
+
+    /// The forensic event re-pass behind [`Analysis::run_with`]: a
+    /// fresh guard+dissect pipeline replays the capture record by
+    /// record (each event tagged with its absolute record index), and
+    /// the admitted flood-relevant streams drive event-emitting
+    /// sessionizers. Research scanners are excluded using the already
+    /// computed [`Analysis::research_sources`], so the sessions traced
+    /// here are exactly the `response_sessions` / `common_sessions` the
+    /// detector consumed.
+    fn emit_events<S: Subscriber>(scenario: &Scenario, analysis: &Analysis, subscriber: &mut S) {
+        let session_config = SessionConfig {
+            timeout: analysis.config.session_timeout,
+            skew_tolerance: analysis.config.guard.reorder_tolerance,
+        };
+        let mut pipeline = TelescopePipeline::with_guard(analysis.config.guard);
+        let mut response_sessionizer = Sessionizer::new(session_config);
+        let mut common_sessionizer = Sessionizer::new(session_config);
+        for (index, record) in scenario.records.iter().enumerate() {
+            let meta = EventMeta::record(index as u64);
+            match pipeline.admit_with(record, &meta, subscriber) {
+                Admitted::Quic(obs) => {
+                    if obs.direction == Direction::Response
+                        && !analysis.research_sources.contains(&obs.src)
+                    {
+                        response_sessionizer.offer_with(obs.ts, obs.src, "quic", &meta, subscriber);
+                    }
+                }
+                Admitted::Baseline(rec) => {
+                    common_sessionizer.offer_with(rec.ts, rec.src, "tcp_icmp", &meta, subscriber);
+                }
+                Admitted::Dropped => {}
+            }
+        }
+        let meta = EventMeta::lifecycle();
+        response_sessionizer.finish_with("quic", &meta, subscriber);
+        common_sessionizer.finish_with("tcp_icmp", &meta, subscriber);
     }
 
     /// Stages 1–3, single-threaded (the `threads == 1` path).
@@ -801,6 +863,50 @@ mod tests {
             );
             assert_eq!(parallel.stats.threads, threads);
         }
+    }
+
+    #[test]
+    fn event_repass_mirrors_sessions_and_ignores_thread_count() {
+        use quicsand_events::{Event, VecSubscriber};
+        let scenario = Scenario::generate(&ScenarioConfig::test());
+        let run = |threads: usize| {
+            let mut events = VecSubscriber::new();
+            let analysis = Analysis::run_with(
+                &scenario,
+                &AnalysisConfig {
+                    threads,
+                    ..AnalysisConfig::default()
+                },
+                &mut events,
+            );
+            (analysis, events)
+        };
+        let (sequential, events) = run(1);
+        let closed = |channel: &str| {
+            events
+                .events
+                .iter()
+                .filter(|(_, e)| matches!(e, Event::SessionClosed(c) if c.channel == channel))
+                .count()
+        };
+        assert_eq!(
+            closed("quic"),
+            sequential.response_sessions.len(),
+            "one close event per detected response session"
+        );
+        assert_eq!(closed("tcp_icmp"), sequential.common_sessions.len());
+        let rejected = events
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::WireRejected(_)))
+            .count() as u64;
+        assert_eq!(rejected, sequential.ingest.quarantine.total());
+
+        let (_, parallel_events) = run(4);
+        assert_eq!(
+            events, parallel_events,
+            "the forensic re-pass is single-threaded by construction"
+        );
     }
 
     #[test]

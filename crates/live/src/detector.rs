@@ -62,6 +62,58 @@ impl Default for LiveConfig {
     }
 }
 
+/// One 1-minute slot of a victim's packet-arrival profile: how many
+/// packets landed in the slot plus the exact first and last arrival.
+///
+/// The triple is what makes a closed alert *replayable*: re-synthesizing
+/// `count` packets between `first` and `last` (endpoints exact, middles
+/// evenly spaced) reproduces the session's start, end, packet count and
+/// per-minute maxima — and therefore the identical [`Attack`] record —
+/// when offered to a fresh detector (see [`crate::forensics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinuteCell {
+    /// Packets in this minute slot.
+    pub count: u64,
+    /// First arrival in the slot.
+    pub first: Timestamp,
+    /// Last arrival in the slot.
+    pub last: Timestamp,
+}
+
+impl MinuteCell {
+    fn seed(ts: Timestamp) -> Self {
+        MinuteCell {
+            count: 1,
+            first: ts,
+            last: ts,
+        }
+    }
+
+    fn absorb(&mut self, ts: Timestamp) {
+        self.count += 1;
+        if ts < self.first {
+            self.first = ts;
+        }
+        if ts > self.last {
+            self.last = ts;
+        }
+    }
+}
+
+/// One row of a closed alert's arrival profile: a [`MinuteCell`] keyed
+/// by its minute bucket, sorted by bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileCell {
+    /// Minute bucket (`ts.minute_bucket()`).
+    pub minute: u64,
+    /// Packets in the slot.
+    pub count: u64,
+    /// First arrival in the slot.
+    pub first: Timestamp,
+    /// Last arrival in the slot.
+    pub last: Timestamp,
+}
+
 /// Where a victim's alert currently stands. Monotone: transitions only
 /// ever move rightwards (Quiet → Open → Escalated), because every
 /// threshold measure is non-decreasing while the session is open.
@@ -82,9 +134,9 @@ struct VictimState {
     start: Timestamp,
     last: Timestamp,
     packet_count: u64,
-    minute_counts: HashMap<u64, u64>,
-    /// Cached `max(minute_counts.values())`; counts only grow, so this
-    /// is maintainable in O(1) per packet.
+    minute_counts: HashMap<u64, MinuteCell>,
+    /// Cached `max(minute_counts.values().count)`; counts only grow, so
+    /// this is maintainable in O(1) per packet.
     max_minute: u64,
     phase: AlertPhase,
     /// Evidence ring, managed through `cursor`. Snapshots normalize it
@@ -99,7 +151,7 @@ impl VictimState {
             start: ts,
             last: ts,
             packet_count: 1,
-            minute_counts: HashMap::from([(ts.minute_bucket(), 1)]),
+            minute_counts: HashMap::from([(ts.minute_bucket(), MinuteCell::seed(ts))]),
             max_minute: 1,
             phase: AlertPhase::Quiet,
             evidence: Vec::with_capacity(capacity.min(64)),
@@ -147,6 +199,22 @@ impl VictimState {
             max_pps: self.max_pps(),
         }
     }
+
+    /// The arrival profile, sorted by minute bucket.
+    fn profile(&self) -> Vec<ProfileCell> {
+        let mut profile: Vec<ProfileCell> = self
+            .minute_counts
+            .iter()
+            .map(|(&minute, cell)| ProfileCell {
+                minute,
+                count: cell.count,
+                first: cell.first,
+                last: cell.last,
+            })
+            .collect();
+        profile.sort_by_key(|cell| cell.minute);
+        profile
+    }
 }
 
 /// Detector counters — the live analogue of `IngestStats`.
@@ -186,6 +254,7 @@ impl LiveStats {
 /// A closed qualifying session, before classification.
 struct ClosedAlert {
     attack: Attack,
+    profile: Vec<ProfileCell>,
     evidence: Vec<EvidencePacket>,
     evicted: bool,
 }
@@ -285,10 +354,13 @@ impl ChannelDetector {
                     state.start = ts;
                 }
                 state.packet_count += 1;
-                let slot = state.minute_counts.entry(ts.minute_bucket()).or_default();
-                *slot += 1;
-                if *slot > state.max_minute {
-                    state.max_minute = *slot;
+                let slot = state
+                    .minute_counts
+                    .entry(ts.minute_bucket())
+                    .and_modify(|cell| cell.absorb(ts))
+                    .or_insert_with(|| MinuteCell::seed(ts));
+                if slot.count > state.max_minute {
+                    state.max_minute = slot.count;
                 }
                 state.push_evidence(evidence, self.evidence_capacity);
                 self.lru.insert((state.last, victim));
@@ -381,6 +453,7 @@ impl ChannelDetector {
         self.stats.closed += 1;
         out.push(ChannelEvent::Closed(ClosedAlert {
             attack: state.as_attack(victim, self.protocol),
+            profile: state.profile(),
             evidence: state.evidence_chronological(),
             evicted,
         }));
@@ -482,6 +555,11 @@ impl ChannelDetector {
 pub struct ClassifiedAttack {
     /// The attack record (identical to batch `detect_attacks` output).
     pub attack: Attack,
+    /// Per-minute arrival profile at close time — the basis of the
+    /// replayable forensic slice (see [`crate::forensics`]).
+    pub profile: Vec<ProfileCell>,
+    /// Evidence ring contents at close time, oldest first.
+    pub evidence: Vec<EvidencePacket>,
     /// Best overlap with any common flood on this victim so far.
     best_overlap: Duration,
     /// Smallest gap to any common flood on this victim so far (`None`
@@ -490,9 +568,11 @@ pub struct ClassifiedAttack {
 }
 
 impl ClassifiedAttack {
-    fn new(attack: Attack) -> Self {
+    fn new(attack: Attack, profile: Vec<ProfileCell>, evidence: Vec<EvidencePacket>) -> Self {
         ClassifiedAttack {
             attack,
+            profile,
+            evidence,
             best_overlap: Duration::ZERO,
             min_gap: None,
         }
@@ -545,6 +625,11 @@ pub struct DetectorSnapshot {
     common: ChannelSnapshot,
     closed_quic: Vec<ClassifiedAttack>,
     closed_common: Vec<Attack>,
+    /// Arrival profiles parallel to `closed_common` (kept out of the
+    /// `Attack` records the equivalence tests compare against batch).
+    common_profiles: Vec<Vec<ProfileCell>>,
+    /// Evidence rings parallel to `closed_common`.
+    common_evidence: Vec<Vec<EvidencePacket>>,
     reclassified: u64,
 }
 
@@ -559,6 +644,10 @@ pub struct LiveDetector {
     closed_quic: Vec<ClassifiedAttack>,
     /// Closed common attacks, in close order.
     closed_common: Vec<Attack>,
+    /// Arrival profiles parallel to `closed_common`.
+    common_profiles: Vec<Vec<ProfileCell>>,
+    /// Evidence rings parallel to `closed_common`.
+    common_evidence: Vec<Vec<EvidencePacket>>,
     /// Victim → indices into `closed_quic` (for reclassification).
     quic_index: HashMap<Ipv4Addr, Vec<usize>>,
     /// Victim → indices into `closed_common` (for classify-at-close).
@@ -575,6 +664,8 @@ impl LiveDetector {
             config,
             closed_quic: Vec::new(),
             closed_common: Vec::new(),
+            common_profiles: Vec::new(),
+            common_evidence: Vec::new(),
             quic_index: HashMap::new(),
             common_index: HashMap::new(),
             reclassified: 0,
@@ -650,7 +741,8 @@ impl LiveDetector {
     /// closed so far and record it for future reclassification.
     fn close_quic(&mut self, alert: ClosedAlert) -> LiveEvent {
         let victim = alert.attack.victim;
-        let mut classified = ClassifiedAttack::new(alert.attack.clone());
+        let mut classified =
+            ClassifiedAttack::new(alert.attack.clone(), alert.profile, alert.evidence.clone());
         if let Some(indices) = self.common_index.get(&victim) {
             for &i in indices {
                 classified.absorb(&self.closed_common[i]);
@@ -691,13 +783,15 @@ impl LiveDetector {
             overlap_share: None,
             gap_secs: None,
             evicted: alert.evicted,
-            evidence: alert.evidence,
+            evidence: alert.evidence.clone(),
         }];
         self.common_index
             .entry(victim)
             .or_default()
             .push(self.closed_common.len());
         self.closed_common.push(alert.attack.clone());
+        self.common_profiles.push(alert.profile);
+        self.common_evidence.push(alert.evidence.clone());
         if let Some(indices) = self.quic_index.get(&victim).cloned() {
             for i in indices {
                 let changed = self.closed_quic[i].absorb(&alert.attack);
@@ -732,6 +826,16 @@ impl LiveDetector {
         &self.closed_common
     }
 
+    /// Arrival profiles parallel to [`LiveDetector::closed_common`].
+    pub fn common_profiles(&self) -> &[Vec<ProfileCell>] {
+        &self.common_profiles
+    }
+
+    /// Evidence rings parallel to [`LiveDetector::closed_common`].
+    pub fn common_evidence(&self) -> &[Vec<EvidencePacket>] {
+        &self.common_evidence
+    }
+
     /// Aggregated counters across both channels.
     pub fn stats(&self) -> LiveStats {
         let mut stats = self.quic.stats;
@@ -754,6 +858,8 @@ impl LiveDetector {
             common: self.common.snapshot(),
             closed_quic: self.closed_quic.clone(),
             closed_common: self.closed_common.clone(),
+            common_profiles: self.common_profiles.clone(),
+            common_evidence: self.common_evidence.clone(),
             reclassified: self.reclassified,
         }
     }
@@ -778,6 +884,8 @@ impl LiveDetector {
             config,
             closed_quic: snapshot.closed_quic.clone(),
             closed_common: snapshot.closed_common.clone(),
+            common_profiles: snapshot.common_profiles.clone(),
+            common_evidence: snapshot.common_evidence.clone(),
             quic_index,
             common_index,
             reclassified: snapshot.reclassified,

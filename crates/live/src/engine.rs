@@ -12,8 +12,13 @@
 
 use crate::alert::{LiveEvent, LiveEventKind};
 use crate::detector::{ClassifiedAttack, DetectorSnapshot, LiveConfig, LiveDetector, LiveStats};
+use crate::forensics::AlertSlice;
 use crate::metrics::LiveMetrics;
 use quicsand_dissect::Direction;
+use quicsand_events::{
+    AlertClosed, AlertEscalated, AlertOpened, AlertReclassified, EventMeta, NoopSubscriber,
+    Subscriber, VecSubscriber,
+};
 use quicsand_net::PacketRecord;
 use quicsand_obs::MetricsRegistry;
 use quicsand_sessions::dos::Attack;
@@ -135,25 +140,63 @@ impl LiveEngine {
     /// batching: splitting the stream differently never changes the
     /// emitted events, only the parallel hand-off granularity.
     pub fn offer_chunk(&mut self, records: &[PacketRecord]) -> Vec<LiveEvent> {
+        self.offer_chunk_with(records, &mut NoopSubscriber)
+    }
+
+    /// [`LiveEngine::offer_chunk`] with typed event emission.
+    ///
+    /// When the subscriber is enabled, each shard worker collects its
+    /// record-tied events (wire rejections, Retry / Version Negotiation
+    /// sightings) into a local buffer tagged with the record's absolute
+    /// stream index; the buffers are merged by that index and replayed
+    /// into `subscriber`, so the delivered stream is identical at any
+    /// shard count and chunk size. Alert lifecycle events are then
+    /// derived from the chunk's (already deterministic) [`LiveEvent`]
+    /// output. With [`NoopSubscriber`] the whole emission path
+    /// monomorphizes away and this *is* [`LiveEngine::offer_chunk`].
+    pub fn offer_chunk_with<S: Subscriber>(
+        &mut self,
+        records: &[PacketRecord],
+        subscriber: &mut S,
+    ) -> Vec<LiveEvent> {
         if records.is_empty() {
             return Vec::new();
         }
+        let base = self.offered;
         self.offered += records.len() as u64;
         self.stats.records = self.offered;
         let (events, chunk_ingest, chunk_detect) = if self.shards.len() == 1 {
             let (tagged, ingest_ms, detect_ms) = {
                 let shard = &mut self.shards[0];
                 let indices: Vec<usize> = (0..records.len()).collect();
-                shard_chunk(shard, records, &indices)
+                if subscriber.enabled() {
+                    let mut collector = VecSubscriber::new();
+                    let chunk = shard_chunk(shard, records, &indices, base, &mut collector);
+                    collector.replay_into(subscriber);
+                    chunk
+                } else {
+                    shard_chunk(shard, records, &indices, base, &mut NoopSubscriber)
+                }
             };
             let events: Vec<LiveEvent> = tagged.into_iter().map(|(_, event)| event).collect();
             (events, ingest_ms, detect_ms)
         } else {
             let buckets = partition_by_source(records, self.shards.len());
-            let worker =
-                |shard: &mut Shard, indices: &[usize]| shard_chunk(shard, records, indices);
+            let collect = subscriber.enabled();
+            let worker = |shard: &mut Shard, indices: &[usize]| {
+                if collect {
+                    let mut collector = VecSubscriber::new();
+                    let chunk = shard_chunk(shard, records, indices, base, &mut collector);
+                    (chunk, collector)
+                } else {
+                    (
+                        shard_chunk(shard, records, indices, base, &mut NoopSubscriber),
+                        VecSubscriber::new(),
+                    )
+                }
+            };
             let worker = &worker;
-            let results: Vec<ShardChunk> = crossbeam::thread::scope(|scope| {
+            let results: Vec<(ShardChunk, VecSubscriber)> = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
@@ -171,10 +214,18 @@ impl LiveEngine {
             let mut chunk_ingest: f64 = 0.0;
             let mut chunk_detect: f64 = 0.0;
             let mut tagged: Vec<(usize, LiveEvent)> = Vec::new();
-            for (events, ingest_ms, detect_ms) in results {
+            let mut merged = VecSubscriber::new();
+            for ((events, ingest_ms, detect_ms), collector) in results {
                 chunk_ingest = chunk_ingest.max(ingest_ms);
                 chunk_detect = chunk_detect.max(detect_ms);
                 tagged.extend(events);
+                merged.events.extend(collector.events);
+            }
+            if collect {
+                // Record indices are unique across shards, so the merge
+                // reproduces the single-shard emission order exactly.
+                merged.sort_by_record_index();
+                merged.replay_into(subscriber);
             }
             // Original record indices are unique; the stable sort keeps
             // each record's own events in emission order.
@@ -190,6 +241,9 @@ impl LiveEngine {
         self.stages
             .sessionize_walltime
             .observe(to_micros(chunk_detect));
+        if subscriber.enabled() {
+            emit_alert_events(&events, subscriber);
+        }
         self.observe_closed(&events);
         self.sync_metrics();
         events
@@ -199,6 +253,12 @@ impl LiveEngine {
     /// returns the trailing events, merged into a deterministic
     /// `(at, victim)` order that is independent of the shard count.
     pub fn finish(&mut self) -> Vec<LiveEvent> {
+        self.finish_with(&mut NoopSubscriber)
+    }
+
+    /// [`LiveEngine::finish`] with typed event emission for the
+    /// trailing alert lifecycle events.
+    pub fn finish_with<S: Subscriber>(&mut self, subscriber: &mut S) -> Vec<LiveEvent> {
         let flush_start = Instant::now();
         let mut events: Vec<LiveEvent> = Vec::new();
         for shard in &mut self.shards {
@@ -213,6 +273,9 @@ impl LiveEngine {
         self.stages
             .detect_walltime
             .observe(to_micros(self.stats.detect_ms));
+        if subscriber.enabled() {
+            emit_alert_events(&events, subscriber);
+        }
         self.observe_closed(&events);
         self.sync_metrics();
         events
@@ -413,6 +476,22 @@ impl LiveEngine {
         attacks
     }
 
+    /// Forensic slices for every closed QUIC alert, merged across
+    /// shards into deterministic `(start, victim)` order and
+    /// re-indexed to that order.
+    pub fn alert_slices(&self) -> Vec<AlertSlice> {
+        let mut slices: Vec<AlertSlice> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.detector.alert_slices())
+            .collect();
+        slices.sort_by_key(|s| (s.quic.attack.start, s.victim));
+        for (index, slice) in slices.iter_mut().enumerate() {
+            slice.alert_index = index;
+        }
+        slices
+    }
+
     /// The detector configuration in effect.
     pub fn config(&self) -> &LiveConfig {
         &self.config
@@ -424,11 +503,20 @@ impl LiveEngine {
 /// as the live "sessionize+detect" stage). The split is observational
 /// only — pipeline and detector are independent state machines, so
 /// phase order cannot change any decision.
-fn shard_chunk(shard: &mut Shard, records: &[PacketRecord], indices: &[usize]) -> ShardChunk {
+fn shard_chunk<S: Subscriber>(
+    shard: &mut Shard,
+    records: &[PacketRecord],
+    indices: &[usize],
+    base: u64,
+    subscriber: &mut S,
+) -> ShardChunk {
     let admit_start = Instant::now();
     let admitted: Vec<(usize, Admitted)> = indices
         .iter()
-        .map(|&i| (i, shard.pipeline.admit(&records[i])))
+        .map(|&i| {
+            let meta = EventMeta::record(base + i as u64);
+            (i, shard.pipeline.admit_with(&records[i], &meta, subscriber))
+        })
         .collect();
     let ingest_ms = ms(admit_start);
 
@@ -456,6 +544,66 @@ fn shard_chunk(shard: &mut Shard, records: &[PacketRecord], indices: &[usize]) -
         events.extend(emitted.into_iter().map(|event| (index, event)));
     }
     (events, ingest_ms, ms(detect_start))
+}
+
+/// Translates the merged, deterministic [`LiveEvent`] stream into the
+/// typed alert lifecycle events. Lifecycle events are not tied to one
+/// record (a close can be triggered by a watermark sweep landing on a
+/// different victim's packet), so they carry [`EventMeta::lifecycle`]
+/// and ride *after* the chunk's record-tied events — a position that is
+/// itself deterministic because the [`LiveEvent`] stream is.
+fn emit_alert_events<S: Subscriber>(events: &[LiveEvent], subscriber: &mut S) {
+    let meta = EventMeta::lifecycle();
+    for event in events {
+        let protocol = event.protocol.label().to_string();
+        match event.kind {
+            LiveEventKind::Opened => subscriber.on_alert_opened(
+                &meta,
+                &AlertOpened {
+                    at: event.at,
+                    victim: event.victim,
+                    protocol,
+                },
+            ),
+            LiveEventKind::Escalated => subscriber.on_alert_escalated(
+                &meta,
+                &AlertEscalated {
+                    at: event.at,
+                    victim: event.victim,
+                    protocol,
+                },
+            ),
+            LiveEventKind::Closed => {
+                let attack = event.attack.as_ref().expect("Closed events carry attacks");
+                subscriber.on_alert_closed(
+                    &meta,
+                    &AlertClosed {
+                        at: event.at,
+                        victim: event.victim,
+                        protocol,
+                        start: attack.start,
+                        packet_count: attack.packet_count,
+                        max_pps: attack.max_pps,
+                        class: event.class.map(|c| c.label().to_string()),
+                        overlap_share: event.overlap_share,
+                        gap_secs: event.gap_secs,
+                        evicted: event.evicted,
+                    },
+                );
+            }
+            LiveEventKind::Reclassified => subscriber.on_alert_reclassified(
+                &meta,
+                &AlertReclassified {
+                    at: event.at,
+                    victim: event.victim,
+                    protocol,
+                    class: event.class.map(|c| c.label().to_string()),
+                    overlap_share: event.overlap_share,
+                    gap_secs: event.gap_secs,
+                },
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -535,6 +683,52 @@ mod tests {
         let baseline = run(usize::MAX);
         for chunk in [1, 7, 64] {
             assert_eq!(run(chunk), baseline, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn evidence_ring_capacity_is_plumbed_and_survives_restore() {
+        let records = trace(&[victim(9), victim(10)], 120);
+        let config = LiveConfig {
+            evidence_capacity: 5,
+            ..LiveConfig::default()
+        };
+        let mut engine = LiveEngine::new(config, GuardConfig::default(), 2);
+        // Feed half the trace so alerts are open with populated rings,
+        // then checkpoint mid-alert.
+        let half = records.len() / 2;
+        let mut straight = engine.offer_chunk(&records[..half]);
+        let snapshot = engine.snapshot();
+        let mut restored = LiveEngine::restore(&snapshot);
+        assert_eq!(
+            restored.snapshot(),
+            snapshot,
+            "restore preserves the evidence rings bit for bit"
+        );
+
+        // The restored engine continues exactly like the original.
+        let mut resumed = straight.clone();
+        resumed.extend(restored.offer_chunk(&records[half..]));
+        resumed.extend(restored.finish());
+        straight.extend(engine.offer_chunk(&records[half..]));
+        straight.extend(engine.finish());
+        assert_eq!(resumed, straight);
+
+        // Closed alerts carry exactly the configured ring: the 5 most
+        // recent packets, ending at the attack's last packet.
+        let closed: Vec<_> = straight
+            .iter()
+            .filter(|e| e.kind == LiveEventKind::Closed)
+            .collect();
+        assert!(!closed.is_empty());
+        for event in closed {
+            assert_eq!(event.evidence.len(), 5, "ring capped at --evidence-ring");
+            let attack = event.attack.as_ref().expect("closed events carry attacks");
+            assert_eq!(
+                event.evidence.last().expect("non-empty ring").ts,
+                attack.end
+            );
+            assert!(event.evidence.windows(2).all(|w| w[0].ts <= w[1].ts));
         }
     }
 

@@ -24,11 +24,19 @@
 pub mod alert;
 pub mod detector;
 pub mod engine;
+pub mod forensics;
 pub mod metrics;
 pub mod multi;
 
 pub use alert::{EvidencePacket, LiveEvent, LiveEventKind};
-pub use detector::{ClassifiedAttack, DetectorSnapshot, LiveConfig, LiveDetector, LiveStats};
+pub use detector::{
+    ClassifiedAttack, DetectorSnapshot, LiveConfig, LiveDetector, LiveStats, MinuteCell,
+    ProfileCell,
+};
 pub use engine::{LiveEngine, LiveSnapshot};
+pub use forensics::{
+    parse_slice_qlog, replay_slice, synthesize_packets, AlertSlice, ReplayOutcome, SliceChannel,
+    SlicePacket,
+};
 pub use metrics::LiveMetrics;
 pub use multi::{parse_checkpoint, MultiSnapshot, MultiSourceLive, CHECKPOINT_SCHEMA_VERSION};

@@ -169,6 +169,19 @@ impl MultiSourceLive {
     /// engine. `None` once every source is exhausted (the engine still
     /// needs [`MultiSourceLive::finish`]).
     pub fn pump(&mut self, chunk: usize) -> Option<Vec<LiveEvent>> {
+        self.pump_with(chunk, &mut quicsand_events::NoopSubscriber)
+    }
+
+    /// [`MultiSourceLive::pump`], additionally forwarding the typed
+    /// event stream (wire rejections, Retry/VN observations, alert
+    /// lifecycle) to `subscriber`. Delegates to
+    /// [`LiveEngine::offer_chunk_with`], so the stream is deterministic
+    /// at any shard count.
+    pub fn pump_with<S: quicsand_events::Subscriber>(
+        &mut self,
+        chunk: usize,
+        subscriber: &mut S,
+    ) -> Option<Vec<LiveEvent>> {
         if self.exhausted {
             return None;
         }
@@ -181,7 +194,7 @@ impl MultiSourceLive {
             self.sync_sources();
             return None;
         }
-        let events = self.engine.offer_chunk(&records);
+        let events = self.engine.offer_chunk_with(&records, subscriber);
         self.sync_sources();
         Some(events)
     }
@@ -189,7 +202,16 @@ impl MultiSourceLive {
     /// Ends the stream: flushes every open session and returns the
     /// trailing events.
     pub fn finish(&mut self) -> Vec<LiveEvent> {
-        let events = self.engine.finish();
+        self.finish_with(&mut quicsand_events::NoopSubscriber)
+    }
+
+    /// [`MultiSourceLive::finish`], forwarding the trailing alert
+    /// lifecycle events to `subscriber`.
+    pub fn finish_with<S: quicsand_events::Subscriber>(
+        &mut self,
+        subscriber: &mut S,
+    ) -> Vec<LiveEvent> {
+        let events = self.engine.finish_with(subscriber);
         self.sync_sources();
         events
     }
@@ -264,6 +286,12 @@ impl MultiSourceLive {
     /// Number of feeds in the set.
     pub fn sources(&self) -> usize {
         self.set.len()
+    }
+
+    /// Per-source vantage labels (delegates to the set). The qlog
+    /// export records these in the trace's vantage-point metadata.
+    pub fn labels(&self) -> &[String] {
+        self.set.labels()
     }
 }
 

@@ -74,6 +74,13 @@ pub trait SourceFactory: Send {
     /// Opens a fresh session of the stream, starting from its
     /// beginning.
     fn open(&mut self) -> Result<DynSource, CaptureError>;
+
+    /// Human-readable vantage label for this feed, recorded once at
+    /// spawn time and surfaced through [`SourceSet::labels`] — the
+    /// qlog export tags its trace's vantage point with these.
+    fn label(&self) -> String {
+        "unnamed".to_string()
+    }
 }
 
 impl<F> SourceFactory for F
@@ -501,6 +508,7 @@ pub struct SourceSet {
     /// Min-heap over `(head timestamp, source index)`.
     heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
     delivered: Vec<u64>,
+    labels: Vec<String>,
     primed: bool,
 }
 
@@ -530,7 +538,9 @@ impl SourceSet {
         let n = factories.len();
         let mut feeds = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
         for (index, factory) in factories.into_iter().enumerate() {
+            labels.push(factory.label());
             let shared = Arc::new(FeedShared::new(config.queue_capacity));
             let producer = ProducerConfig {
                 batch_records: config.batch_records.max(1),
@@ -553,8 +563,15 @@ impl SourceSet {
             heads: (0..n).map(|_| Vec::new().into_iter()).collect(),
             heap: BinaryHeap::with_capacity(n),
             delivered: cursors.to_vec(),
+            labels,
             primed: false,
         }
+    }
+
+    /// Per-source vantage labels, captured from the factories at spawn
+    /// time (one per feed, index-aligned with [`SourceSet::stats`]).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
     }
 
     /// Blocks for feed `index`'s next head batch (or its termination)
@@ -721,25 +738,55 @@ pub fn merge_records(sources: &[Vec<PacketRecord>]) -> Vec<PacketRecord> {
 
 /// A factory replaying an in-memory record vector (each open clones the
 /// backing records, so reconnect-with-resume replays from the start).
-pub fn memory_factory(records: Vec<PacketRecord>) -> impl SourceFactory {
-    move || Ok(Box::new(MemoryStream::new(records.clone())) as DynSource)
+/// Labelled `memory`.
+#[derive(Debug, Clone)]
+pub struct MemoryFactory {
+    records: Vec<PacketRecord>,
+}
+
+impl SourceFactory for MemoryFactory {
+    fn open(&mut self) -> Result<DynSource, CaptureError> {
+        Ok(Box::new(MemoryStream::new(self.records.clone())) as DynSource)
+    }
+
+    fn label(&self) -> String {
+        "memory".to_string()
+    }
+}
+
+/// Builds a [`MemoryFactory`] over `records`.
+pub fn memory_factory(records: Vec<PacketRecord>) -> MemoryFactory {
+    MemoryFactory { records }
 }
 
 /// A factory reading a `.qscp` capture file through the zero-copy
-/// batched decoder.
+/// batched decoder. Labelled with the capture path.
 ///
 /// A zero-byte file is treated as an instantly-EOF feed rather than a
 /// truncated capture: a vantage point that recorded nothing must drain
 /// cleanly inside a multi-source set instead of aborting the run.
-pub fn capture_file_factory(path: impl Into<PathBuf>) -> impl SourceFactory {
-    let path: PathBuf = path.into();
-    move || -> Result<DynSource, CaptureError> {
-        let data = std::fs::read(&path)?;
+#[derive(Debug, Clone)]
+pub struct CaptureFileFactory {
+    path: PathBuf,
+}
+
+impl SourceFactory for CaptureFileFactory {
+    fn open(&mut self) -> Result<DynSource, CaptureError> {
+        let data = std::fs::read(&self.path)?;
         if data.is_empty() {
             return Ok(Box::new(MemoryStream::new(Vec::new())) as DynSource);
         }
         Ok(Box::new(crate::zerocopy::ZeroCopyCaptureReader::from_bytes(data)?) as DynSource)
     }
+
+    fn label(&self) -> String {
+        self.path.display().to_string()
+    }
+}
+
+/// Builds a [`CaptureFileFactory`] over the capture at `path`.
+pub fn capture_file_factory(path: impl Into<PathBuf>) -> CaptureFileFactory {
+    CaptureFileFactory { path: path.into() }
 }
 
 #[cfg(test)]
@@ -992,6 +1039,28 @@ mod tests {
         let mut set = SourceSet::spawn(factories, &SourceSetConfig::default());
         let chunk = set.pull_chunk(7).unwrap();
         assert_eq!(chunk, records[..7].to_vec());
+    }
+
+    #[test]
+    fn labels_are_captured_per_feed_at_spawn() {
+        let records: Vec<_> = (0..5).map(record).collect();
+        let path = std::path::PathBuf::from("/tmp/vantage-a.qscp");
+        let factories: Vec<Box<dyn SourceFactory>> = vec![
+            boxed(memory_factory(records)),
+            boxed(capture_file_factory(&path)),
+            boxed(|| -> Result<DynSource, CaptureError> {
+                Ok(Box::new(MemoryStream::new(Vec::new())) as DynSource)
+            }),
+        ];
+        let set = SourceSet::spawn(factories, &SourceSetConfig::default());
+        assert_eq!(
+            set.labels(),
+            [
+                "memory".to_string(),
+                path.display().to_string(),
+                "unnamed".to_string()
+            ]
+        );
     }
 
     #[test]

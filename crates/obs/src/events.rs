@@ -1,0 +1,65 @@
+//! Metric bundle for the typed event export.
+//!
+//! Both families are [`Stability::Volatile`]: whether a run exports a
+//! qlog stream (and how many bytes the framing costs) is an operator
+//! choice, not a property of the logical trace, so the *stable*
+//! exposition stays byte-identical with and without `--events-out`.
+
+use crate::registry::{Counter, MetricsRegistry, Stability};
+
+/// Handles for the qlog event-export counters.
+#[derive(Debug, Clone)]
+pub struct EventsMetrics {
+    /// `quicsand_events_emitted_total` — typed events serialized into
+    /// the qlog stream (excludes the header record).
+    pub emitted_total: Counter,
+    /// `quicsand_events_qlog_bytes_total` — bytes written to the qlog
+    /// sink, RFC 7464 framing included.
+    pub qlog_bytes_total: Counter,
+}
+
+impl EventsMetrics {
+    /// Registers the event-export families on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        EventsMetrics {
+            emitted_total: registry.counter(
+                "quicsand_events_emitted_total",
+                "Typed events serialized into the qlog export stream",
+                Stability::Volatile,
+            ),
+            qlog_bytes_total: registry.counter(
+                "quicsand_events_qlog_bytes_total",
+                "Bytes written to the qlog export sink (RFC 7464 framing included)",
+                Stability::Volatile,
+            ),
+        }
+    }
+
+    /// Publishes a finished writer's totals (events, bytes).
+    pub fn add_totals(&self, events: u64, bytes: u64) {
+        self.emitted_total.add(events);
+        self.qlog_bytes_total.add(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_export_series_are_volatile_only() {
+        let registry = MetricsRegistry::new();
+        let metrics = EventsMetrics::register(&registry);
+        metrics.add_totals(42, 9001);
+        assert_eq!(metrics.emitted_total.get(), 42);
+        assert_eq!(metrics.qlog_bytes_total.get(), 9001);
+        let stable = registry.render_prometheus(true);
+        assert!(
+            !stable.contains("quicsand_events"),
+            "event-export series leaked into the stable exposition:\n{stable}"
+        );
+        let full = registry.render_prometheus(false);
+        assert!(full.contains("quicsand_events_emitted_total"));
+        assert!(full.contains("quicsand_events_qlog_bytes_total"));
+    }
+}

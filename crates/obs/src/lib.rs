@@ -20,10 +20,12 @@
 //! walltimes, thread counts) and are excluded from snapshot-grade
 //! exports.
 
+mod events;
 mod export;
 mod registry;
 mod source;
 
+pub use events::EventsMetrics;
 pub use registry::{
     Counter, Gauge, Histogram, MetricKind, MetricsRegistry, Sample, Stability,
     ATTACK_DURATION_MICROS_BUCKETS, ATTACK_PACKETS_BUCKETS, STAGE_WALLTIME_MICROS_BUCKETS,

@@ -11,6 +11,9 @@
 //! never needs to sit in memory at once. An ablation bench compares this
 //! against batch grouping (DESIGN.md §3).
 
+use quicsand_events::{
+    EventMeta, NoopSubscriber, SessionClosed, SessionOpened, SessionWidened, Subscriber,
+};
 use quicsand_net::{Duration, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -188,6 +191,24 @@ impl Sessionizer {
     /// seed version asserted strict ordering and crashed whole runs on
     /// one reordered record.
     pub fn offer(&mut self, ts: Timestamp, src: Ipv4Addr) {
+        self.offer_with(ts, src, "", &EventMeta::lifecycle(), &mut NoopSubscriber);
+    }
+
+    /// [`Sessionizer::offer`] with typed event emission: fresh inserts
+    /// emit `session_opened`, backwards bounds-widening by an admissible
+    /// late packet emits `session_widened`, and gap closes (plus any
+    /// expiries released by the internal amortized sweep) emit
+    /// `session_closed`. `channel` labels which per-protocol sessionizer
+    /// this is (`quic` / `tcp_icmp`). With [`NoopSubscriber`] this
+    /// monomorphizes to exactly the subscriber-free path.
+    pub fn offer_with<S: Subscriber>(
+        &mut self,
+        ts: Timestamp,
+        src: Ipv4Addr,
+        channel: &str,
+        meta: &EventMeta,
+        subscriber: &mut S,
+    ) {
         if ts > self.last_ts {
             self.last_ts = ts;
         }
@@ -197,7 +218,7 @@ impl Sessionizer {
         // the last 2·timeout window) at a cost of one scan per timeout
         // interval.
         if self.last_ts.saturating_since(self.last_sweep) > self.config.timeout {
-            self.expire(self.last_ts);
+            self.expire_with(self.last_ts, channel, meta, subscriber);
         }
         let minute = ts.minute_bucket();
         match self.open.get_mut(&src) {
@@ -208,6 +229,17 @@ impl Sessionizer {
                     open.last = ts;
                 }
                 if ts < open.start {
+                    if subscriber.enabled() {
+                        subscriber.on_session_widened(
+                            meta,
+                            &SessionWidened {
+                                at: ts,
+                                src,
+                                channel: channel.to_string(),
+                                lead: open.start.saturating_since(ts),
+                            },
+                        );
+                    }
                     open.start = ts;
                 }
                 open.packet_count += 1;
@@ -224,7 +256,29 @@ impl Sessionizer {
                         minute_counts: HashMap::from([(minute, 1)]),
                     },
                 );
-                self.closed.push(closed.close(src));
+                let closed = closed.close(src);
+                if subscriber.enabled() {
+                    subscriber.on_session_closed(
+                        meta,
+                        &SessionClosed {
+                            at: ts,
+                            src,
+                            channel: channel.to_string(),
+                            start: closed.start,
+                            packet_count: closed.packet_count,
+                            expired: false,
+                        },
+                    );
+                    subscriber.on_session_opened(
+                        meta,
+                        &SessionOpened {
+                            at: ts,
+                            src,
+                            channel: channel.to_string(),
+                        },
+                    );
+                }
+                self.closed.push(closed);
                 self.counters.opened += 1;
                 self.counters.closed += 1;
             }
@@ -238,6 +292,16 @@ impl Sessionizer {
                         minute_counts: HashMap::from([(minute, 1)]),
                     },
                 );
+                if subscriber.enabled() {
+                    subscriber.on_session_opened(
+                        meta,
+                        &SessionOpened {
+                            at: ts,
+                            src,
+                            channel: channel.to_string(),
+                        },
+                    );
+                }
                 self.counters.opened += 1;
             }
         }
@@ -256,6 +320,19 @@ impl Sessionizer {
     /// emit — expiry only changes *when* state is released, never the
     /// session boundaries.
     pub fn expire(&mut self, now: Timestamp) {
+        self.expire_with(now, "", &EventMeta::lifecycle(), &mut NoopSubscriber);
+    }
+
+    /// [`Sessionizer::expire`] with typed event emission: each expiry
+    /// emits a `session_closed` event flagged `expired` (at the sweep
+    /// watermark, in the same deterministic close order).
+    pub fn expire_with<S: Subscriber>(
+        &mut self,
+        now: Timestamp,
+        channel: &str,
+        meta: &EventMeta,
+        subscriber: &mut S,
+    ) {
         // Defer expiry by the skew tolerance: a packet admitted while
         // lagging `skew_tolerance` behind the watermark must still find
         // its session open, whatever the sweep schedule. Micros
@@ -278,7 +355,21 @@ impl Sessionizer {
         });
         for src in expired {
             let open = self.open.remove(&src).expect("expired source is open");
-            self.closed.push(open.close(src));
+            let session = open.close(src);
+            if subscriber.enabled() {
+                subscriber.on_session_closed(
+                    meta,
+                    &SessionClosed {
+                        at: now,
+                        src,
+                        channel: channel.to_string(),
+                        start: session.start,
+                        packet_count: session.packet_count,
+                        expired: true,
+                    },
+                );
+            }
+            self.closed.push(session);
             self.counters.closed += 1;
             self.counters.expired += 1;
         }
@@ -295,13 +386,57 @@ impl Sessionizer {
         std::mem::take(&mut self.closed)
     }
 
+    /// [`Sessionizer::drain`] with typed event emission for the expiry
+    /// sweep it performs.
+    pub fn drain_with<S: Subscriber>(
+        &mut self,
+        channel: &str,
+        meta: &EventMeta,
+        subscriber: &mut S,
+    ) -> Vec<Session> {
+        self.expire_with(self.last_ts, channel, meta, subscriber);
+        std::mem::take(&mut self.closed)
+    }
+
     /// Closes every open session and returns all remaining ones.
-    pub fn finish(mut self) -> Vec<Session> {
+    pub fn finish(self) -> Vec<Session> {
+        self.finish_with("", &EventMeta::lifecycle(), &mut NoopSubscriber)
+    }
+
+    /// [`Sessionizer::finish`] with typed event emission: the final
+    /// flush emits `session_closed` (not `expired` — the stream ended)
+    /// for every still-open session, in output order.
+    pub fn finish_with<S: Subscriber>(
+        mut self,
+        channel: &str,
+        meta: &EventMeta,
+        subscriber: &mut S,
+    ) -> Vec<Session> {
         let mut sessions = std::mem::take(&mut self.closed);
-        for (src, open) in self.open.drain() {
-            sessions.push(open.close(src));
+        let mut flushed: Vec<Session> = self
+            .open
+            .drain()
+            .map(|(src, open)| open.close(src))
+            .collect();
+        // Deterministic output (and emission) order regardless of
+        // hash-map iteration.
+        flushed.sort_by_key(|s| (s.start, s.src));
+        if subscriber.enabled() {
+            for s in &flushed {
+                subscriber.on_session_closed(
+                    meta,
+                    &SessionClosed {
+                        at: s.end,
+                        src: s.src,
+                        channel: channel.to_string(),
+                        start: s.start,
+                        packet_count: s.packet_count,
+                        expired: false,
+                    },
+                );
+            }
         }
-        // Deterministic output order regardless of hash-map iteration.
+        sessions.extend(flushed);
         sessions.sort_by_key(|s| (s.start, s.src));
         sessions
     }
@@ -737,6 +872,73 @@ mod tests {
         // A looser threshold (6 %) stops earlier: 3→4 min reduces by
         // only 5.7 %.
         assert_eq!(sweep.knee(0.06), Some(Duration::from_mins(3)));
+    }
+
+    #[test]
+    fn session_events_cover_the_lifecycle() {
+        use quicsand_events::{Event, VecSubscriber};
+        let mut sub = VecSubscriber::new();
+        let mut s = Sessionizer::new(cfg(10));
+        let meta = EventMeta::lifecycle();
+        // Fresh open, then a backwards widening by a late packet.
+        s.offer_with(Timestamp::from_secs(5), ip(1), "quic", &meta, &mut sub);
+        s.offer_with(Timestamp::from_secs(2), ip(1), "quic", &meta, &mut sub);
+        // Second source; its t=15 packet triggers a sweep that ip(1)
+        // survives (idle exactly the timeout), advancing last_sweep.
+        s.offer_with(Timestamp::from_secs(9), ip(2), "quic", &meta, &mut sub);
+        s.offer_with(Timestamp::from_secs(15), ip(2), "quic", &meta, &mut sub);
+        // The watermark is within a timeout of the last sweep, so no
+        // sweep runs here and ip(1)'s 20 s gap takes the gap-close
+        // branch: close + fresh open.
+        s.offer_with(Timestamp::from_secs(25), ip(1), "quic", &meta, &mut sub);
+        // Explicit sweep expires both remaining sessions.
+        s.expire_with(Timestamp::from_secs(400), "quic", &meta, &mut sub);
+        // Final flush of a still-open session.
+        s.offer_with(Timestamp::from_secs(401), ip(3), "quic", &meta, &mut sub);
+        let sessions = s.finish_with("quic", &meta, &mut sub);
+        assert_eq!(sessions.len(), 4);
+
+        let names: Vec<&str> = sub.events.iter().map(|(_, e)| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "quicsand:session_opened",
+                "quicsand:session_widened",
+                "quicsand:session_opened",
+                "quicsand:session_closed",
+                "quicsand:session_opened",
+                "quicsand:session_closed",
+                "quicsand:session_closed",
+                "quicsand:session_opened",
+                "quicsand:session_closed",
+            ]
+        );
+        // The widening reports how far the start moved.
+        let Event::SessionWidened(w) = &sub.events[1].1 else {
+            panic!("expected widened event");
+        };
+        assert_eq!(w.lead, Duration::from_secs(3));
+        // The gap close is not an expiry; the sweep closes are.
+        let Event::SessionClosed(gap) = &sub.events[3].1 else {
+            panic!("expected closed event");
+        };
+        assert!(!gap.expired);
+        assert_eq!(gap.src, ip(1));
+        assert_eq!(gap.start, Timestamp::from_secs(2));
+        assert_eq!(gap.packet_count, 2);
+        for i in [5, 6] {
+            let Event::SessionClosed(swept) = &sub.events[i].1 else {
+                panic!("expected closed event");
+            };
+            assert!(swept.expired);
+        }
+        // Expiry order is deterministic: by (start, src).
+        assert!(sub.events[5].1.data_value().get("src").is_some());
+        let Event::SessionClosed(flush) = &sub.events[8].1 else {
+            panic!("expected closed event");
+        };
+        assert!(!flush.expired);
+        assert_eq!(flush.src, ip(3));
     }
 
     proptest! {

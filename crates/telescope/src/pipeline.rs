@@ -9,6 +9,10 @@
 
 use quicsand_dissect::{
     classify_record, dissect_udp_payload, Classification, Direction, DissectError, DissectedPacket,
+    MessageKind,
+};
+use quicsand_events::{
+    EventMeta, NoopSubscriber, RetryObserved, Subscriber, VersionNegotiationObserved, WireRejected,
 };
 use quicsand_net::{Duration, PacketRecord, Timestamp, Transport};
 use serde::{Deserialize, Serialize};
@@ -656,9 +660,54 @@ impl TelescopePipeline {
         record: &PacketRecord,
         classification: Classification,
     ) -> Admitted {
+        self.admit_classified_with(
+            record,
+            classification,
+            &EventMeta::lifecycle(),
+            &mut NoopSubscriber,
+        )
+    }
+
+    /// [`admit`](Self::admit) with typed-event emission: quarantine
+    /// decisions surface as `wire_rejected`, dissected Retry / Version
+    /// Negotiation packets as their observation events. With
+    /// [`NoopSubscriber`] this monomorphizes to exactly
+    /// [`admit`](Self::admit) — the subscriber-free hot path carries no
+    /// event code.
+    pub fn admit_with<S: Subscriber>(
+        &mut self,
+        record: &PacketRecord,
+        meta: &EventMeta,
+        subscriber: &mut S,
+    ) -> Admitted {
+        self.admit_classified_with(record, classify_record(record), meta, subscriber)
+    }
+
+    /// The shared core behind both [`admit_classified`] and
+    /// [`admit_with`]: guard → classification → dissection, with every
+    /// quarantine and Retry/VN sighting mirrored to `subscriber`.
+    ///
+    /// [`admit_classified`]: Self::admit_classified
+    /// [`admit_with`]: Self::admit_with
+    pub fn admit_classified_with<S: Subscriber>(
+        &mut self,
+        record: &PacketRecord,
+        classification: Classification,
+        meta: &EventMeta,
+        subscriber: &mut S,
+    ) -> Admitted {
         self.stats.total += 1;
         if let Some(error) = self.guard_check(record) {
             self.stats.quarantine.record(&error);
+            if subscriber.enabled() {
+                subscriber.on_wire_rejected(
+                    meta,
+                    &WireRejected {
+                        at: record.ts,
+                        reason: error.label().to_string(),
+                    },
+                );
+            }
             return Admitted::Dropped;
         }
         match classification {
@@ -678,12 +727,47 @@ impl TelescopePipeline {
                         self.stats
                             .quarantine
                             .record(&IngestError::TransportMismatch);
+                        if subscriber.enabled() {
+                            subscriber.on_wire_rejected(
+                                meta,
+                                &WireRejected {
+                                    at: record.ts,
+                                    reason: IngestError::TransportMismatch.label().to_string(),
+                                },
+                            );
+                        }
                         return Admitted::Dropped;
                     }
                 };
                 match dissect_udp_payload(payload) {
                     Ok(dissected) => {
                         self.stats.quic_valid += 1;
+                        if subscriber.enabled() {
+                            if dissected.has_retry() {
+                                subscriber.on_retry_observed(
+                                    meta,
+                                    &RetryObserved {
+                                        at: record.ts,
+                                        src: record.src,
+                                        dst: record.dst,
+                                    },
+                                );
+                            }
+                            if dissected
+                                .messages
+                                .iter()
+                                .any(|m| m.kind == MessageKind::VersionNegotiation)
+                            {
+                                subscriber.on_version_negotiation(
+                                    meta,
+                                    &VersionNegotiationObserved {
+                                        at: record.ts,
+                                        src: record.src,
+                                        dst: record.dst,
+                                    },
+                                );
+                            }
+                        }
                         Admitted::Quic(QuicObservation {
                             ts: record.ts,
                             src: record.src,
@@ -699,9 +783,17 @@ impl TelescopePipeline {
                         // false positive (the paper's §4.1 scalar); the
                         // quarantine taxonomy is the finer breakdown.
                         self.stats.quic_false_positives += 1;
-                        self.stats
-                            .quarantine
-                            .record(&IngestError::from_dissect(&error));
+                        let ingest_error = IngestError::from_dissect(&error);
+                        self.stats.quarantine.record(&ingest_error);
+                        if subscriber.enabled() {
+                            subscriber.on_wire_rejected(
+                                meta,
+                                &WireRejected {
+                                    at: record.ts,
+                                    reason: ingest_error.label().to_string(),
+                                },
+                            );
+                        }
                         Admitted::Dropped
                     }
                 }

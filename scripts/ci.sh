@@ -5,6 +5,10 @@
 #   scripts/ci.sh --quick      # skip the release build, run debug tests only
 #   scripts/ci.sh bench-smoke  # only the benchmark-regression gate
 #   scripts/ci.sh scale-smoke  # only the medium-tier streaming ladder gate
+#   scripts/ci.sh scale-smoke-large
+#                              # opt-in large tier (10M records); no-op
+#                              # unless QUICSAND_BENCH_SCALE=large
+#   scripts/ci.sh events-smoke # only the qlog export + forensic replay gate
 #
 # The repo vendors all third-party dependencies (vendor/), so this runs
 # without network access.
@@ -61,16 +65,17 @@ bench_smoke() {
   echo "bench-smoke: baselines validated, no regression beyond tolerance — OK"
 }
 
-scale_smoke() {
-  # Streaming scale-ladder gate: the medium tier (1M records, generated
-  # lazily — the trace is never materialized, so memory stays constant)
-  # through multi_source_throughput and shard_scaling. The multi-source
-  # run additionally asserts the fan-in tax: 4-source wall time must
-  # stay within 1.5x of single-source. Fresh per-tier reports are
+scale_tier() {
+  # Streaming scale-ladder gate at one tier (records generated lazily —
+  # the trace is never materialized, so memory stays constant) through
+  # multi_source_throughput and shard_scaling. The multi-source run
+  # additionally asserts the fan-in tax: 4-source wall time must stay
+  # within 1.5x of single-source. Fresh per-tier reports are
   # schema-validated and gated against the committed
-  # BENCH_<name>@medium.json baselines (same tolerance/skip knobs as
+  # BENCH_<name>@<tier>.json baselines (same tolerance/skip knobs as
   # bench-smoke).
-  echo "==> scale-smoke: medium-tier streaming ladder (1M records)"
+  local tier="$1" label="$2"
+  echo "==> scale-smoke: $tier-tier streaming ladder ($label)"
   local scale_dir
   scale_dir="$(mktemp -d)"
   # shellcheck disable=SC2064
@@ -84,7 +89,7 @@ scale_smoke() {
     for attempt in $(seq 1 $attempts); do
       # The ratio assertion lives inside the bin, so a noisy-runner
       # violation also lands in the retry loop instead of hard-failing.
-      if ! env "${ratio_env[@]}" QUICSAND_BENCH_SCALE=medium \
+      if ! env "${ratio_env[@]}" QUICSAND_BENCH_SCALE="$tier" \
         QUICSAND_BENCH_DIR="$scale_dir" \
         cargo run -q --release -p quicsand-bench --bin "$bin" >/dev/null; then
         if [[ "$attempt" -eq "$attempts" ]]; then
@@ -95,13 +100,13 @@ scale_smoke() {
         continue
       fi
       cargo run -q --release -p quicsand-bench --bin bench_compare -- \
-        --validate "BENCH_$bench@medium.json" "$scale_dir/BENCH_$bench@medium.json"
+        --validate "BENCH_$bench@$tier.json" "$scale_dir/BENCH_$bench@$tier.json"
       if [[ "${QUICSAND_BENCH_SKIP_COMPARE:-0}" == "1" ]]; then
         break
       fi
       if cargo run -q --release -p quicsand-bench --bin bench_compare -- \
-        --baseline "BENCH_$bench@medium.json" \
-        --current "$scale_dir/BENCH_$bench@medium.json"; then
+        --baseline "BENCH_$bench@$tier.json" \
+        --current "$scale_dir/BENCH_$bench@$tier.json"; then
         break
       elif [[ "$attempt" -eq "$attempts" ]]; then
         echo "scale-smoke: $bench failed the gate on all $attempts attempts" >&2
@@ -111,7 +116,66 @@ scale_smoke() {
       fi
     done
   done
-  echo "scale-smoke: medium tier streamed in constant memory, fan-in ratio <= 1.5x — OK"
+  echo "scale-smoke: $tier tier streamed in constant memory, fan-in ratio <= 1.5x — OK"
+}
+
+scale_smoke() {
+  scale_tier medium "1M records"
+}
+
+scale_smoke_large() {
+  # The large rung (10M records) is opt-in: it takes long enough that
+  # it only runs when the environment explicitly asks for it.
+  if [[ "${QUICSAND_BENCH_SCALE:-}" != "large" ]]; then
+    echo "scale-smoke-large: skipped (set QUICSAND_BENCH_SCALE=large to opt in)"
+    return 0
+  fi
+  scale_tier large "10M records"
+}
+
+events_smoke() {
+  # Typed-event export gate: emit the qlog event stream on a reference
+  # trace, validate the RFC 7464 JSON-SEQ framing, then export every
+  # closed alert as a forensic slice and replay each through a fresh
+  # detector (--replay hard-fails on any verdict divergence). The
+  # bench lanes gate the complementary claim: the no-subscriber path
+  # the bench bins run must stay within bench_compare tolerances, so
+  # event emission costs nothing when nobody listens.
+  echo "==> events-smoke: qlog export + forensic replay gate"
+  local events_dir profile
+  profile="${profile_flag---release}"
+  events_dir="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$events_dir'" RETURN
+  cargo run -q $profile -- generate --out "$events_dir/ref.qscp" --scale test --seed 7
+  events_out="$(cargo run -q $profile -- live "$events_dir/ref.qscp" \
+    --shards 2 --events-out "$events_dir/ref.qlog" 2>&1)"
+  echo "$events_out" | grep -qE '^events: [1-9][0-9]* event\(s\)' || {
+    echo "events-smoke: live --events-out reported no events" >&2
+    echo "$events_out" | tail -5 >&2
+    exit 1
+  }
+  cargo run -q $profile -- forensics check "$events_dir/ref.qlog" \
+    | grep -q 'valid qlog JSON-SEQ' || {
+    echo "events-smoke: exported qlog failed framing validation" >&2
+    exit 1
+  }
+  forensics_out="$(cargo run -q $profile -- forensics "$events_dir/ref.qscp" \
+    --out "$events_dir/slices" --replay 2>&1)"
+  echo "$forensics_out" | grep -qE '^forensics: [1-9][0-9]* alert slice\(s\) exported' || {
+    echo "events-smoke: no alert slices exported" >&2
+    echo "$forensics_out" | tail -5 >&2
+    exit 1
+  }
+  echo "$forensics_out" | grep -qE '[1-9][0-9]* replay\(s\) verified' || {
+    echo "events-smoke: replays did not verify" >&2
+    echo "$forensics_out" | tail -5 >&2
+    exit 1
+  }
+  # One slice is itself a valid JSON-SEQ document.
+  first_slice="$(find "$events_dir/slices" -name 'alert-*.qlog' | sort | head -1)"
+  cargo run -q $profile -- forensics check "$first_slice" >/dev/null
+  echo "events-smoke: qlog framing valid, every closed alert replayed — OK"
 }
 
 if [[ "${1:-}" == "bench-smoke" ]]; then
@@ -121,6 +185,16 @@ fi
 
 if [[ "${1:-}" == "scale-smoke" ]]; then
   scale_smoke
+  exit 0
+fi
+
+if [[ "${1:-}" == "scale-smoke-large" ]]; then
+  scale_smoke_large
+  exit 0
+fi
+
+if [[ "${1:-}" == "events-smoke" ]]; then
+  events_smoke
   exit 0
 fi
 
@@ -239,9 +313,12 @@ for family in quicsand_ingest_records_total quicsand_detect_attacks_total \
 done
 echo "metrics-smoke: exposition complete, counters reconcile, exit 0 — OK"
 
+events_smoke
+
 if [[ $quick -eq 0 ]]; then
   bench_smoke
   scale_smoke
+  scale_smoke_large
 else
   echo "==> bench-smoke skipped (--quick)"
   echo "==> scale-smoke skipped (--quick)"

@@ -19,6 +19,7 @@
 
 pub use quicsand_core as core;
 pub use quicsand_dissect as dissect;
+pub use quicsand_events as events;
 pub use quicsand_intel as intel;
 pub use quicsand_net as net;
 pub use quicsand_server as server;

@@ -9,9 +9,12 @@
 //! ```
 
 use quicsand_core::{Analysis, AnalysisConfig};
+use quicsand_events::qlog::QlogWriter;
+use quicsand_events::Subscriber;
 use quicsand_faults::{FaultPlan, FaultProfile};
 use quicsand_net::capture::CaptureWriter;
 use quicsand_net::ZeroCopyCaptureReader;
+use quicsand_obs::EventsMetrics;
 use quicsand_sessions::multivector::MultiVectorClass;
 use quicsand_sessions::Cdf;
 use quicsand_traffic::{Scenario, ScenarioConfig};
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         "experiments" => cmd_experiments(&args[1..]),
         "export" => cmd_export(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
+        "forensics" => cmd_forensics(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -56,7 +60,7 @@ USAGE:
 
     quicsand analyze <file.qscp> [--threads N] [--verbose]
                      [--fault-profile none|standard|aggressive] [--fault-seed N]
-                     [--metrics-out <file>]
+                     [--metrics-out <file>] [--events-out <file.qlog>]
         Run the sessionization + DoS-inference pipeline on a capture.
         --threads shards ingest+sessionization by source across N
         workers (default: all cores); results are identical at any N.
@@ -69,6 +73,11 @@ USAGE:
         gauges, histograms — including volatile walltimes) as
         canonical JSON after verifying it reconciles with the
         pipeline's stats.
+        --events-out mirrors the run as a typed event stream in qlog
+        0.4 JSON-SEQ (RFC 7464) — wire rejections, Retry/VN
+        sightings, session lifecycle — via a single-threaded forensic
+        re-pass, so the stream is identical at any --threads. An
+        unwritable path fails before the pipeline runs.
 
     quicsand metrics <file.qscp> [--format prometheus|json] [--threads N]
                      [--fault-profile ...] [--fault-seed N] [--stable-only]
@@ -81,9 +90,10 @@ USAGE:
     quicsand live [file.qscp] [--input <file.qscp>]... [--window MINS]
                   [--weight W] [--escalate W] [--shards N] [--chunk N]
                   [--source-rate N] [--source-queue N] [--source-batch N]
-                  [--max-victims N]
+                  [--max-victims N] [--evidence-ring N]
                   [--checkpoint-every N] [--alert-format text|json]
-                  [--metrics-out <file>] [--verbose]
+                  [--metrics-out <file>] [--events-out <file.qlog>]
+                  [--verbose]
         Stream one or more captures through the live flood-detection
         engine and print alert lifecycle events (OPEN / ESCALATE /
         CLOSE / RECLASSIFY) as they fire. Each --input adds a feed;
@@ -105,7 +115,14 @@ USAGE:
         from the restored copy — proving the checkpoint is lossless
         mid-run. --metrics-out writes the engine's metrics registry as
         canonical JSON after the run (stable series survive
-        checkpoint/restore unchanged).
+        checkpoint/restore unchanged). --evidence-ring sets the
+        per-alert evidence ring capacity (most recent packets kept as
+        replayable forensics; default 16). --events-out writes the
+        typed event stream (wire rejections, Retry/VN sightings,
+        alert lifecycle) as qlog 0.4 JSON-SEQ with one vantage entry
+        per feed; record-tied events are identical at any --shards
+        and every event's timestamp comes from the trace, and an
+        unwritable path fails before any feed is opened.
 
     quicsand replay --pps <rate> [--requests N] [--workers N]
                     [--retry | --adaptive <occupancy>]
@@ -115,6 +132,21 @@ USAGE:
     quicsand export <file.qscp> --pcap <file.pcap>
         Convert a capture to classic libpcap (raw-IP linktype) for
         inspection in Wireshark.
+
+    quicsand forensics <file.qscp> [--out <dir>] [--replay]
+                       [--window MINS] [--weight W] [--shards N]
+                       [--chunk N] [--evidence-ring N]
+        Run the live engine over a capture and export every closed
+        QUIC alert as a self-contained replayable qlog slice
+        (alert-<i>.qlog under --out, default `forensics/`): config,
+        per-minute arrival profile, evidence ring, and the correlated
+        common-channel floods. --replay feeds each exported slice
+        back through a fresh detector and fails unless it reproduces
+        the identical closed alert and multi-vector verdict.
+
+    quicsand forensics check <file.qlog>
+        Validate a qlog file's RFC 7464 JSON-SEQ framing and header,
+        and print a record/event summary.
 
     quicsand experiments [--scale test|demo|paper] [--threads N]
         Regenerate every paper table/figure and print the reports.";
@@ -265,8 +297,13 @@ fn positional(args: &[String]) -> Option<&String> {
 /// fault plan, runs the batch pipeline, and verifies that the exported
 /// metrics reconcile with the pipeline stats — shared by `analyze` and
 /// `metrics`. Progress goes to stderr so stdout stays clean for the
-/// caller's own output.
-fn run_pipeline(args: &[String], command: &str) -> Result<Analysis, String> {
+/// caller's own output. A disabled `subscriber` (the `--events-out`
+/// flag absent) skips the event re-pass entirely.
+fn run_pipeline<S: Subscriber>(
+    args: &[String],
+    command: &str,
+    subscriber: &mut S,
+) -> Result<Analysis, String> {
     // Validate flags before touching the filesystem.
     let mut analysis_cfg = analysis_config(args)?;
     let plan = fault_plan(args)?;
@@ -332,7 +369,7 @@ fn run_pipeline(args: &[String], command: &str) -> Result<Analysis, String> {
         },
         config,
     };
-    let analysis = Analysis::run(&scenario, &analysis_cfg);
+    let analysis = Analysis::run_with(&scenario, &analysis_cfg, subscriber);
     // Hard invariant: every exported counter equals the corresponding
     // stats field, at any thread count. A mismatch is a bug, not noise.
     analysis
@@ -355,8 +392,42 @@ fn write_metrics_out(
     Ok(())
 }
 
+/// Opens the qlog writer when `--events-out <path>` was given —
+/// creating the file (and failing on an unwritable path) before any
+/// heavy work starts. `None` keeps the zero-cost disabled path.
+fn events_out_writer(
+    args: &[String],
+    title: &str,
+    vantage: &[String],
+) -> Result<Option<QlogWriter>, String> {
+    flag_value(args, "--events-out")?
+        .map(|path| QlogWriter::create(path, title, vantage))
+        .transpose()
+}
+
+/// Finishes an open qlog writer: flushes, publishes the event/byte
+/// totals on `registry`, and reports the write on stderr.
+fn finish_events_out(
+    args: &[String],
+    sink: Option<QlogWriter>,
+    registry: &quicsand_obs::MetricsRegistry,
+) -> Result<(), String> {
+    let Some(writer) = sink else {
+        return Ok(());
+    };
+    let (events, bytes) = writer.finish()?;
+    EventsMetrics::register(registry).add_totals(events, bytes);
+    // The flag was present, so the path parses; unwrap via expect.
+    let path = flag_value(args, "--events-out")?.expect("writer implies the flag");
+    eprintln!("events: {events} event(s), {bytes} bytes -> {path}");
+    Ok(())
+}
+
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let analysis = run_pipeline(args, "analyze")?;
+    let vantage: Vec<String> = positional(args).cloned().into_iter().collect();
+    let mut sink = events_out_writer(args, "quicsand analyze", &vantage)?;
+    let analysis = run_pipeline(args, "analyze", &mut sink)?;
+    finish_events_out(args, sink, &analysis.registry)?;
     write_metrics_out(args, &analysis.registry)?;
 
     let stats = &analysis.ingest;
@@ -433,7 +504,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let stable_only = has_flag(args, "--stable-only");
     let format = flag_value(args, "--format")?.unwrap_or("prometheus");
-    let analysis = run_pipeline(args, "metrics")?;
+    let analysis = run_pipeline(args, "metrics", &mut quicsand_events::NoopSubscriber)?;
     let rendered = match format {
         "prometheus" => analysis.registry.render_prometheus(stable_only),
         "json" => analysis.registry.render_json(stable_only),
@@ -499,6 +570,14 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(LiveConfig::default().max_victims);
+    let evidence_ring: usize = flag_value(args, "--evidence-ring")?
+        .map(|v| {
+            v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or(format!(
+                "invalid --evidence-ring `{v}` (want an integer >= 1)"
+            ))
+        })
+        .transpose()?
+        .unwrap_or(LiveConfig::default().evidence_capacity);
     let checkpoint_every: Option<u64> = flag_value(args, "--checkpoint-every")?
         .map(|v| {
             v.parse::<u64>()
@@ -549,8 +628,12 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         },
         escalation_weight: escalate,
         max_victims,
-        ..LiveConfig::default()
+        evidence_capacity: evidence_ring,
     };
+    // The qlog sink (when requested) is created first: an unwritable
+    // --events-out path must fail before any feed is opened. The
+    // vantage metadata carries one label per feed.
+    let mut sink = events_out_writer(args, "quicsand live", &inputs)?;
     // A bad path or corrupt header is still a hard, immediate error —
     // only *mid-run* source failures are tolerated (reconnect/abandon).
     // An empty capture opens as an instantly-EOF feed, not an error.
@@ -589,7 +672,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     let mut offered_at_checkpoint: u64 = 0;
     let mut checkpoints: u64 = 0;
     let mut checkpoint_bytes: u64 = 0;
-    while let Some(events) = live.pump(chunk) {
+    while let Some(events) = live.pump_with(chunk, &mut sink) {
         for event in events {
             emit(&event);
         }
@@ -637,9 +720,10 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    for event in live.finish() {
+    for event in live.finish_with(&mut sink) {
         emit(&event);
     }
+    finish_events_out(args, sink, live.engine().registry())?;
     // Hard invariant: live counters reconcile with the merged detector
     // stats at this (finished) sync point — including the per-source
     // counters and the cursor/offered conservation check.
@@ -761,6 +845,129 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     let written = writer.written();
     writer.finish().map_err(|e| format!("flush: {e}"))?;
     println!("wrote {written} packets to {output} (libpcap, raw-IP linktype)");
+    Ok(())
+}
+
+fn cmd_forensics(args: &[String]) -> Result<(), String> {
+    use quicsand_events::qlog::validate_qlog;
+    use quicsand_live::{parse_slice_qlog, replay_slice, LiveConfig, LiveEngine};
+    use quicsand_net::Duration;
+    use quicsand_sessions::dos::DosThresholds;
+    use quicsand_sessions::SessionConfig;
+    use quicsand_telescope::GuardConfig;
+
+    // `forensics check <file.qlog>`: framing/header validation only.
+    if args.first().map(String::as_str) == Some("check") {
+        let path = positional(&args[1..]).ok_or("forensics check requires a qlog path")?;
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        let summary = validate_qlog(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid qlog JSON-SEQ ({} record(s), {} event(s))",
+            summary.records, summary.events
+        );
+        return Ok(());
+    }
+
+    let path = positional(args).ok_or("forensics requires a capture path")?;
+    let out_dir = flag_value(args, "--out")?
+        .unwrap_or("forensics")
+        .to_string();
+    let replay = has_flag(args, "--replay");
+    let window: u64 = flag_value(args, "--window")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid --window `{v}` (minutes)"))
+        })
+        .transpose()?
+        .unwrap_or(5);
+    let weight: f64 = flag_value(args, "--weight")?
+        .map(|v| v.parse().map_err(|_| format!("invalid --weight `{v}`")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let shards: usize = flag_value(args, "--shards")?
+        .map(|v| v.parse().map_err(|_| format!("invalid --shards `{v}`")))
+        .transpose()?
+        .unwrap_or(1);
+    let chunk: usize = flag_value(args, "--chunk")?
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&c| c >= 1)
+                .ok_or(format!("invalid --chunk `{v}` (want an integer >= 1)"))
+        })
+        .transpose()?
+        .unwrap_or(1024);
+    let evidence_ring: usize = flag_value(args, "--evidence-ring")?
+        .map(|v| {
+            v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or(format!(
+                "invalid --evidence-ring `{v}` (want an integer >= 1)"
+            ))
+        })
+        .transpose()?
+        .unwrap_or(LiveConfig::default().evidence_capacity);
+
+    let guard = GuardConfig::default();
+    let config = LiveConfig {
+        thresholds: DosThresholds::moore().scaled(weight),
+        session: SessionConfig {
+            timeout: Duration::from_mins(window),
+            skew_tolerance: guard.reorder_tolerance,
+        },
+        evidence_capacity: evidence_ring,
+        ..LiveConfig::default()
+    };
+    let mut reader =
+        ZeroCopyCaptureReader::from_path(path).map_err(|e| format!("read {path}: {e}"))?;
+    let records = reader
+        .read_to_end()
+        .map_err(|e| format!("read records: {e}"))?;
+    eprintln!(
+        "loaded {} records; running the live engine...",
+        records.len()
+    );
+    let mut engine = LiveEngine::new(config, guard, shards);
+    for part in records.chunks(chunk.max(1)) {
+        engine.offer_chunk(part);
+    }
+    engine.finish();
+
+    let slices = engine.alert_slices();
+    if slices.is_empty() {
+        println!("no closed QUIC alerts in {path}; nothing to export");
+        return Ok(());
+    }
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
+    let mut replayed = 0usize;
+    for slice in &slices {
+        let bytes = slice.to_qlog()?;
+        let file = format!("{out_dir}/alert-{}.qlog", slice.alert_index);
+        std::fs::write(&file, &bytes).map_err(|e| format!("write {file}: {e}"))?;
+        if replay {
+            // The replay contract: the exported slice alone must
+            // reproduce the identical closed alert and verdict in a
+            // fresh detector. `replay_slice` errors on any divergence.
+            let (parsed, packets) = parse_slice_qlog(&bytes).map_err(|e| format!("{file}: {e}"))?;
+            replay_slice(&parsed, &packets)
+                .map_err(|e| format!("{file}: replay contract violated: {e}"))?;
+            replayed += 1;
+        }
+        println!(
+            "wrote {file} (victim {}, {} packet(s), {} common flood(s), class {})",
+            slice.victim,
+            slice.quic.attack.packet_count,
+            slice.commons.len(),
+            slice.class.label()
+        );
+    }
+    println!(
+        "forensics: {} alert slice(s) exported to {out_dir}{}",
+        slices.len(),
+        if replay {
+            format!(", {replayed} replay(s) verified")
+        } else {
+            String::new()
+        }
+    );
     Ok(())
 }
 

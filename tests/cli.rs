@@ -263,6 +263,99 @@ fn live_tolerates_empty_captures_standalone_and_in_a_set() {
     std::fs::remove_file(&empty).ok();
 }
 
+/// A zero-event run still writes a *valid* qlog file: header record
+/// only, correct RFC 7464 framing — consumers must never special-case
+/// "no events".
+#[test]
+fn events_out_on_a_zero_event_run_is_a_valid_header_only_qlog() {
+    let dir = std::env::temp_dir().join("quicsand-cli-events-empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let empty = dir.join("empty.qscp");
+    let qlog = dir.join("empty.qlog");
+    std::fs::write(&empty, b"").unwrap();
+
+    let live = Command::new(bin())
+        .args([
+            "live",
+            empty.to_str().unwrap(),
+            "--events-out",
+            qlog.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run live with events-out");
+    assert!(
+        live.status.success(),
+        "live failed: {}",
+        String::from_utf8_lossy(&live.stderr)
+    );
+    let bytes = std::fs::read(&qlog).unwrap();
+    assert_eq!(bytes.first(), Some(&0x1Eu8), "RFC 7464 record separator");
+    assert_eq!(bytes.last(), Some(&b'\n'), "record terminator");
+
+    let check = Command::new(bin())
+        .args(["forensics", "check", qlog.to_str().unwrap()])
+        .output()
+        .expect("run forensics check");
+    assert!(
+        check.status.success(),
+        "forensics check rejected a header-only qlog: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    assert!(
+        stdout.contains("1 record(s), 0 event(s)"),
+        "stdout: {stdout}"
+    );
+
+    std::fs::remove_file(&empty).ok();
+    std::fs::remove_file(&qlog).ok();
+}
+
+/// `--events-out` pointing at an unwritable path fails up front — before
+/// any feed is opened or a single record is pumped.
+#[test]
+fn events_out_unwritable_path_fails_up_front() {
+    let dir = std::env::temp_dir().join("quicsand-cli-events-unwritable");
+    std::fs::create_dir_all(&dir).unwrap();
+    let empty = dir.join("empty.qscp");
+    std::fs::write(&empty, b"").unwrap();
+
+    for command in [
+        vec!["live", empty.to_str().unwrap()],
+        vec!["analyze", empty.to_str().unwrap()],
+    ] {
+        let output = Command::new(bin())
+            .args(&command)
+            .args(["--events-out", "/nonexistent-dir/out.qlog"])
+            .output()
+            .expect("run with unwritable events-out");
+        assert!(
+            !output.status.success(),
+            "{} must fail on an unwritable --events-out",
+            command[0]
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("events-out") && stderr.contains("cannot create"),
+            "{} stderr: {stderr}",
+            command[0]
+        );
+    }
+    std::fs::remove_file(&empty).ok();
+}
+
+/// `--evidence-ring` validates its value like every other numeric flag.
+#[test]
+fn invalid_evidence_ring_is_rejected() {
+    let output = Command::new(bin())
+        .args(["live", "whatever.qscp", "--evidence-ring", "0"])
+        .output()
+        .expect("run live");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--evidence-ring"), "stderr: {stderr}");
+}
+
 /// `live` with no capture path at all still fails loudly.
 #[test]
 fn live_without_any_input_is_rejected() {

@@ -164,6 +164,47 @@ fn metrics_exposition_matches_golden_snapshots() {
     );
 }
 
+/// The typed event stream for a deterministic scenario prefix,
+/// serialized as qlog 0.4 JSON-SEQ, must match its checked-in snapshot
+/// byte for byte. Event times come from packet timestamps (never the
+/// wall clock) and the stream is shard-invariant by construction, so
+/// any drift is a real change to what the pipeline emits — to event
+/// taxonomy, ordering, or serialization.
+#[test]
+fn events_qlog_matches_golden_snapshot() {
+    use quicsand_events::qlog::QlogWriter;
+    use quicsand_live::{LiveConfig, LiveEngine};
+    use quicsand_sessions::SessionConfig;
+    use quicsand_telescope::GuardConfig;
+
+    let mut records = Scenario::generate(&ScenarioConfig::test()).records;
+    records.truncate(20_000);
+    let guard = GuardConfig::default();
+    let config = LiveConfig {
+        session: SessionConfig {
+            skew_tolerance: guard.reorder_tolerance,
+            ..SessionConfig::default()
+        },
+        ..LiveConfig::default()
+    };
+
+    let (mut writer, buffer) =
+        QlogWriter::to_buffer("quicsand events golden", &["scenario-test".to_string()])
+            .expect("buffer-backed qlog writer");
+    let mut engine = LiveEngine::new(config, guard, 2);
+    for part in records.chunks(1024) {
+        let _ = engine.offer_chunk_with(part, &mut writer);
+    }
+    let _ = engine.finish_with(&mut writer);
+    let (events, _) = writer.finish().expect("finish qlog");
+    assert!(events > 0, "golden trace must emit events");
+
+    let rendered = String::from_utf8(buffer.contents()).expect("qlog is UTF-8");
+    if let Err(drift) = check_text("events.qlog", &rendered) {
+        panic!("{drift}");
+    }
+}
+
 /// Table 1 (server resiliency replay) at the standard sub-sampled
 /// scale must match its snapshot: the replay model is seeded, so any
 /// drift is a behavior change in the server model, not noise.
