@@ -47,6 +47,7 @@ fn batch_sessionize(stream: &[(Timestamp, Ipv4Addr)], timeout: Duration) -> Vec<
                     end: last,
                     packet_count: count,
                     minute_counts: std::mem::take(&mut minute_counts),
+                    cid_key: None,
                 });
                 start = ts;
                 count = 0;
@@ -61,6 +62,7 @@ fn batch_sessionize(stream: &[(Timestamp, Ipv4Addr)], timeout: Duration) -> Vec<
             end: last,
             packet_count: count,
             minute_counts,
+            cid_key: None,
         });
     }
     sessions

@@ -17,12 +17,14 @@
 
 use crate::metrics::AnalysisMetrics;
 use quicsand_dissect::Direction;
-use quicsand_events::{EventMeta, Subscriber};
+use quicsand_events::{EventMeta, SessionMigrated, Subscriber};
 use quicsand_net::Duration;
 use quicsand_obs::MetricsRegistry;
 use quicsand_sessions::dos::{detect_attacks, Attack, AttackProtocol, DosThresholds};
-use quicsand_sessions::multivector::{classify_multivector, MultiVectorReport};
-use quicsand_sessions::session::{Session, SessionConfig, Sessionizer, SessionizerCounters};
+use quicsand_sessions::multivector::{classify_multivector_with, MultiVectorReport, VectorSignals};
+use quicsand_sessions::session::{
+    link_migrations, MigrationLink, Session, SessionConfig, Sessionizer, SessionizerCounters,
+};
 use quicsand_telescope::parallel::{ingest_shard_with, partition_by_source};
 pub use quicsand_telescope::PipelineStats;
 use quicsand_telescope::{
@@ -118,8 +120,11 @@ pub struct Analysis {
     pub requests: Vec<QuicObservation>,
     /// Sanitized response observations.
     pub responses: Vec<QuicObservation>,
-    /// Request sessions.
+    /// Request sessions (after CID-keyed migration linking: a flow that
+    /// changed source address mid-session is one session here).
     pub request_sessions: Vec<Session>,
+    /// Mid-flow address changes re-joined by the migration link pass.
+    pub migrations: Vec<MigrationLink>,
     /// Response sessions.
     pub response_sessions: Vec<Session>,
     /// Detected QUIC floods.
@@ -229,6 +234,12 @@ impl Analysis {
         sort_sessions(&mut response_sessions);
         sort_sessions(&mut common_sessions);
 
+        // 3b. CID-keyed migration linking on the merged request
+        // sessions. Running after the cross-shard merge keeps the pass
+        // shard-invariant even though a migrating flow's addresses can
+        // land in different shards.
+        let migrations = link_migrations(&mut request_sessions, config.session_timeout);
+
         // 4. DoS inference.
         let detect_start = Instant::now();
         let quic_attacks =
@@ -239,8 +250,20 @@ impl Analysis {
             &config.thresholds,
         );
 
-        // 5. Multi-vector correlation.
-        let multivector = classify_multivector(&quic_attacks, &common_attacks);
+        // 5. Multi-vector correlation, fed the packet-level vector
+        // evidence: Retry backscatter per victim and the endpoints of
+        // every migration link.
+        let mut signals = VectorSignals::empty();
+        for obs in &responses {
+            if obs.dissected.has_retry() {
+                signals.record_retry(obs.src);
+            }
+        }
+        for link in &migrations {
+            signals.record_migration(link.from);
+            signals.record_migration(link.to);
+        }
+        let multivector = classify_multivector_with(&quic_attacks, &common_attacks, &signals);
         stats.detect_ms = ms(detect_start);
         stats.threads = threads;
         stats.records = ingest.total;
@@ -255,6 +278,7 @@ impl Analysis {
         metrics
             .sessions
             .add_final(session_counters, sessions_open_at_flush);
+        metrics.sessions.migrated_total.add(migrations.len() as u64);
         metrics.dos.observe_attacks(&quic_attacks);
         metrics.dos.observe_attacks(&common_attacks);
         for shard in &shard_stats {
@@ -273,6 +297,7 @@ impl Analysis {
             requests,
             responses,
             request_sessions,
+            migrations,
             response_sessions,
             quic_attacks,
             common_sessions,
@@ -343,6 +368,22 @@ impl Analysis {
         let meta = EventMeta::lifecycle();
         response_sessionizer.finish_with("quic", &meta, subscriber);
         common_sessionizer.finish_with("tcp_icmp", &meta, subscriber);
+        // Migration links are a deterministic post-pass product of the
+        // batch run (the request channel is not re-sessionized here);
+        // mirror each link as a typed lifecycle event.
+        for link in &analysis.migrations {
+            subscriber.on_session_migrated(
+                &meta,
+                &SessionMigrated {
+                    at: link.at,
+                    from: link.from,
+                    to: link.to,
+                    channel: "quic_request".to_string(),
+                    cid_key: link.cid_key,
+                    gap: link.gap,
+                },
+            );
+        }
     }
 
     /// Stages 1–3, single-threaded (the `threads == 1` path).
@@ -402,7 +443,7 @@ impl Analysis {
         };
         let mut request_sessionizer = Sessionizer::new(session_config);
         for obs in &requests {
-            request_sessionizer.offer(obs.ts, obs.src);
+            request_sessionizer.offer_keyed(obs.ts, obs.src, obs.dissected.client_cid_key());
         }
         let mut response_sessionizer = Sessionizer::new(session_config);
         for obs in &responses {
@@ -517,7 +558,7 @@ impl Analysis {
             let sessionize_start = Instant::now();
             let mut request_sessionizer = Sessionizer::new(session_config);
             for (_, obs) in &requests {
-                request_sessionizer.offer(obs.ts, obs.src);
+                request_sessionizer.offer_keyed(obs.ts, obs.src, obs.dissected.client_cid_key());
             }
             let mut response_sessionizer = Sessionizer::new(session_config);
             for (_, obs) in &responses {
@@ -649,9 +690,14 @@ impl Analysis {
             }
         };
         let sessions = self.metrics.sessions.clone();
+        // Each migration link folded two closed sessions into one, so
+        // the sessionizer lifecycle counters exceed the final session
+        // count by exactly the migration count.
+        let migrated = self.migrations.len() as u64;
         let total_sessions = (self.request_sessions.len()
             + self.response_sessions.len()
-            + self.common_sessions.len()) as u64;
+            + self.common_sessions.len()) as u64
+            + migrated;
         check(
             "sessions_opened",
             sessions.opened_total.get(),
@@ -662,6 +708,7 @@ impl Analysis {
             sessions.closed_total.get(),
             total_sessions,
         );
+        check("sessions_migrated", sessions.migrated_total.get(), migrated);
         let dos = &self.metrics.dos;
         check(
             "attacks_quic",

@@ -77,7 +77,7 @@ fn minimal_retry(tag_bytes: usize) -> Vec<u8> {
     wire
 }
 
-/// The full adversarial corpus (33 entries).
+/// The full adversarial corpus (40 entries).
 pub fn adversarial_corpus() -> Vec<CorpusEntry> {
     use CorpusExpect as E;
     let entry = |name, payload, expect| CorpusEntry {
@@ -255,6 +255,75 @@ pub fn adversarial_corpus() -> Vec<CorpusEntry> {
             },
             E::AnyErr,
         ),
+        // --- post-2021 version drift ------------------------------
+        entry(
+            "v2 initial accepted",
+            {
+                let mut wire = minimal_initial();
+                wire[1..5].copy_from_slice(&0x6b3343cf_u32.to_be_bytes());
+                wire
+            },
+            E::Ok,
+        ),
+        entry(
+            "v2 initial with migration-grade 8-byte scid",
+            vec![
+                0xc0, 0x6b, 0x33, 0x43, 0xcf, // long | fixed, version 2
+                0x00, // dcid len
+                0x08, 1, 2, 3, 4, 5, 6, 7, 8,    // scid: the migration key
+                0x00, // token length
+                0x05, // length
+                0x01, 0x02, 0x03, 0x04, 0x05, // pn + protected payload
+            ],
+            E::Ok,
+        ),
+        entry(
+            "v2 retry accepted",
+            {
+                let mut wire = minimal_retry(16);
+                wire[1..5].copy_from_slice(&0x6b3343cf_u32.to_be_bytes());
+                wire
+            },
+            E::Ok,
+        ),
+        entry(
+            "version negotiation offering v1 and v2",
+            vec![
+                0x80, 0, 0, 0, 0, 0x00, 0x00, // vn header, empty cids
+                0x00, 0x00, 0x00, 0x01, // v1
+                0x6b, 0x33, 0x43, 0xcf, // v2
+            ],
+            E::Ok,
+        ),
+        entry(
+            "unregistered draft-31 version quarantined",
+            {
+                let mut wire = minimal_initial();
+                wire[1..5].copy_from_slice(&0xff00001f_u32.to_be_bytes());
+                wire
+            },
+            E::BadVersion(0xff00001f),
+        ),
+        // --- retry token-size variants ----------------------------
+        entry(
+            "retry with empty token",
+            {
+                let mut wire = vec![0xf0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00];
+                wire.extend_from_slice(&[0xEE; 16]);
+                wire
+            },
+            E::Ok,
+        ),
+        entry(
+            "retry with 128-byte amplification token",
+            {
+                let mut wire = vec![0xf0, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00];
+                wire.extend_from_slice(&[0x7A; 128]);
+                wire.extend_from_slice(&[0xEE; 16]);
+                wire
+            },
+            E::Ok,
+        ),
     ]
 }
 
@@ -299,7 +368,7 @@ mod tests {
     #[test]
     fn corpus_entries_have_unique_names() {
         let corpus = adversarial_corpus();
-        assert_eq!(corpus.len(), 33);
+        assert_eq!(corpus.len(), 40);
         let mut names: Vec<_> = corpus.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -160,6 +160,21 @@ impl DissectedPacket {
         self.messages.iter().filter_map(|m| m.scid.as_ref())
     }
 
+    /// A stable 64-bit key (FNV-1a) over the first non-empty source
+    /// connection ID. The client-chosen SCID persists when the client
+    /// changes address, so this key powers CID-keyed migration linking
+    /// in the sessionizer. `None` when no message carries a non-empty
+    /// SCID (short headers, empty-SCID backscatter).
+    pub fn client_cid_key(&self) -> Option<u64> {
+        let cid = self.scids().find(|c| !c.is_empty())?;
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in cid.as_slice() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Some(hash)
+    }
+
     /// Whether every long-header DCID has length zero — the validity
     /// check the paper applies to backscatter (§5.2: "we carefully
     /// checked that the packets are valid [...] by verifying that the

@@ -244,6 +244,23 @@ events! {
         expired: bool,
     }
 
+    /// A CID-keyed migration link re-joined two address-split session
+    /// halves: the same connection continued from a new source address
+    /// within the session timeout (Buchet-style migration).
+    "quicsand:session_migrated" => SessionMigrated / on_session_migrated {
+        /// Source address before the migration (the canonical one the
+        /// merged session keeps).
+        from: Ipv4Addr,
+        /// Source address after the migration.
+        to: Ipv4Addr,
+        /// Which channel the session lives on.
+        channel: String,
+        /// Connection-ID key both halves carried.
+        cid_key: u64,
+        /// Silence between the halves (zero when overlapping).
+        gap: Duration,
+    }
+
     /// A live alert crossed the detection threshold (lifecycle: Open).
     "quicsand:alert_opened" => AlertOpened / on_alert_opened {
         /// Flood victim.

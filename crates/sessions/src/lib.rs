@@ -29,5 +29,10 @@ pub mod session;
 pub use cdf::Cdf;
 pub use dos::{detect_attacks, Attack, DosThresholds};
 pub use metrics::{DosMetrics, SessionMetrics};
-pub use multivector::{classify_multivector, MultiVectorClass, MultiVectorReport};
-pub use session::{Session, SessionConfig, Sessionizer, SessionizerCounters};
+pub use multivector::{
+    classify_multivector, classify_multivector_with, MultiVectorClass, MultiVectorReport,
+    VectorKind, VectorSignals,
+};
+pub use session::{
+    link_migrations, MigrationLink, Session, SessionConfig, Sessionizer, SessionizerCounters,
+};

@@ -31,6 +31,11 @@ pub struct SessionMetrics {
     /// `quicsand_sessions_open` — instantaneous open sessions at the
     /// last sync point (volatile: a point-in-time reading).
     pub open: Gauge,
+    /// `quicsand_sessions_migrated_total` — address-split session pairs
+    /// re-joined by CID-keyed migration linking; each link reduces the
+    /// final session count by one, so reconciliation reads
+    /// `opened == final sessions + migrated`.
+    pub migrated_total: Counter,
 }
 
 impl SessionMetrics {
@@ -56,6 +61,11 @@ impl SessionMetrics {
                 "quicsand_sessions_open",
                 "Open sessions at the last sync point",
                 Stability::Volatile,
+            ),
+            migrated_total: registry.counter(
+                "quicsand_sessions_migrated_total",
+                "Address-split sessions re-joined by CID migration linking",
+                Stability::Stable,
             ),
         }
     }

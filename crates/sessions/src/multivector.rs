@@ -39,6 +39,78 @@ impl MultiVectorClass {
     }
 }
 
+/// Post-2021 attack-vector annotations derived from packet-level
+/// signals the time-overlap classes cannot see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VectorKind {
+    /// The victim emitted Retry backscatter during the flood — a
+    /// Retry-token amplification variant.
+    RetryAmplification,
+    /// The victim's address appeared as the target of mid-session
+    /// connection migrations — migration-abuse traffic steering.
+    MigrationAbuse,
+}
+
+impl VectorKind {
+    /// Stable label used in reports and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            VectorKind::RetryAmplification => "retry-amplification",
+            VectorKind::MigrationAbuse => "migration-abuse",
+        }
+    }
+}
+
+/// Packet-level evidence feeding [`classify_multivector_with`].
+///
+/// The classifier itself only sees attack intervals; these maps carry
+/// the per-address signals the dissect/sessionize stages extracted so
+/// vector kinds can be attached without re-reading the capture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorSignals {
+    /// Retry packets observed *from* each address (response direction:
+    /// the flood victim is the Retry emitter).
+    pub retry_packets_by_victim: HashMap<Ipv4Addr, u64>,
+    /// Mid-session migration endpoints: how many migration links
+    /// involved each address (either side of the address change).
+    pub migrations_by_addr: HashMap<Ipv4Addr, u64>,
+}
+
+impl VectorSignals {
+    /// No evidence at all — [`classify_multivector`] semantics.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Records one Retry packet emitted by `victim`.
+    pub fn record_retry(&mut self, victim: Ipv4Addr) {
+        *self.retry_packets_by_victim.entry(victim).or_default() += 1;
+    }
+
+    /// Records one migration link touching `addr`.
+    pub fn record_migration(&mut self, addr: Ipv4Addr) {
+        *self.migrations_by_addr.entry(addr).or_default() += 1;
+    }
+
+    /// The vector kinds supported by the evidence for `victim`.
+    pub fn kinds_for(&self, victim: Ipv4Addr) -> Vec<VectorKind> {
+        let mut kinds = Vec::new();
+        if self
+            .retry_packets_by_victim
+            .get(&victim)
+            .copied()
+            .unwrap_or(0)
+            > 0
+        {
+            kinds.push(VectorKind::RetryAmplification);
+        }
+        if self.migrations_by_addr.get(&victim).copied().unwrap_or(0) > 0 {
+            kinds.push(VectorKind::MigrationAbuse);
+        }
+        kinds
+    }
+}
+
 /// Per-QUIC-flood correlation result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CorrelatedAttack {
@@ -53,6 +125,8 @@ pub struct CorrelatedAttack {
     pub overlap_share: Option<f64>,
     /// For sequential attacks: the gap to the nearest common flood.
     pub gap: Option<Duration>,
+    /// Vector-kind annotations (empty without packet-level evidence).
+    pub kinds: Vec<VectorKind>,
 }
 
 /// Aggregated multi-vector report (Fig. 8 + Figs. 12/13 inputs).
@@ -62,6 +136,8 @@ pub struct MultiVectorReport {
     pub attacks: Vec<CorrelatedAttack>,
     /// Count per class.
     pub class_counts: HashMap<String, usize>,
+    /// Count per vector kind (empty when classified without signals).
+    pub kind_counts: HashMap<String, usize>,
 }
 
 impl MultiVectorReport {
@@ -91,8 +167,20 @@ impl MultiVectorReport {
     }
 }
 
-/// Correlates QUIC floods with common-protocol floods.
+/// Correlates QUIC floods with common-protocol floods (no packet-level
+/// vector evidence; every `kinds` list stays empty).
 pub fn classify_multivector(quic: &[Attack], common: &[Attack]) -> MultiVectorReport {
+    classify_multivector_with(quic, common, &VectorSignals::empty())
+}
+
+/// Correlates QUIC floods with common-protocol floods and annotates each
+/// attack with the [`VectorKind`]s its victim's packet-level evidence
+/// supports.
+pub fn classify_multivector_with(
+    quic: &[Attack],
+    common: &[Attack],
+    signals: &VectorSignals,
+) -> MultiVectorReport {
     // Index common floods per victim once.
     let mut by_victim: HashMap<Ipv4Addr, Vec<&Attack>> = HashMap::new();
     for attack in common {
@@ -101,13 +189,16 @@ pub fn classify_multivector(quic: &[Attack], common: &[Attack]) -> MultiVectorRe
 
     let mut attacks = Vec::with_capacity(quic.len());
     let mut class_counts: HashMap<String, usize> = HashMap::new();
+    let mut kind_counts: HashMap<String, usize> = HashMap::new();
     for (quic_index, q) in quic.iter().enumerate() {
+        let kinds = signals.kinds_for(q.victim);
         let result = match by_victim.get(&q.victim) {
             None => CorrelatedAttack {
                 quic_index,
                 class: MultiVectorClass::Isolated,
                 overlap_share: None,
                 gap: None,
+                kinds,
             },
             Some(commons) => {
                 let best_overlap = commons
@@ -123,6 +214,7 @@ pub fn classify_multivector(quic: &[Attack], common: &[Attack]) -> MultiVectorRe
                         class: MultiVectorClass::Concurrent,
                         overlap_share: Some(share),
                         gap: None,
+                        kinds,
                     }
                 } else {
                     let gap = commons
@@ -135,6 +227,7 @@ pub fn classify_multivector(quic: &[Attack], common: &[Attack]) -> MultiVectorRe
                         class: MultiVectorClass::Sequential,
                         overlap_share: None,
                         gap: Some(gap),
+                        kinds,
                     }
                 }
             }
@@ -142,11 +235,15 @@ pub fn classify_multivector(quic: &[Attack], common: &[Attack]) -> MultiVectorRe
         *class_counts
             .entry(result.class.label().to_string())
             .or_default() += 1;
+        for kind in &result.kinds {
+            *kind_counts.entry(kind.label().to_string()).or_default() += 1;
+        }
         attacks.push(result);
     }
     MultiVectorReport {
         attacks,
         class_counts,
+        kind_counts,
     }
 }
 
@@ -308,5 +405,75 @@ mod tests {
         assert_eq!(MultiVectorClass::Concurrent.label(), "concurrent");
         assert_eq!(MultiVectorClass::Sequential.label(), "sequential");
         assert_eq!(MultiVectorClass::Isolated.label(), "isolated");
+    }
+
+    #[test]
+    fn vector_kind_labels() {
+        assert_eq!(
+            VectorKind::RetryAmplification.label(),
+            "retry-amplification"
+        );
+        assert_eq!(VectorKind::MigrationAbuse.label(), "migration-abuse");
+    }
+
+    #[test]
+    fn empty_signals_leave_kinds_empty() {
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 100, 200)];
+        let report = classify_multivector(&quic, &[]);
+        assert!(report.attacks[0].kinds.is_empty());
+        assert!(report.kind_counts.is_empty());
+    }
+
+    #[test]
+    fn retry_evidence_attaches_retry_amplification() {
+        let quic = vec![
+            attack(ip(1), AttackProtocol::Quic, 100, 200),
+            attack(ip(2), AttackProtocol::Quic, 300, 400),
+        ];
+        let mut signals = VectorSignals::empty();
+        signals.record_retry(ip(1));
+        signals.record_retry(ip(1));
+        let report = classify_multivector_with(&quic, &[], &signals);
+        assert_eq!(
+            report.attacks[0].kinds,
+            vec![VectorKind::RetryAmplification]
+        );
+        assert!(report.attacks[1].kinds.is_empty());
+        assert_eq!(report.kind_counts["retry-amplification"], 1);
+    }
+
+    #[test]
+    fn migration_evidence_attaches_migration_abuse() {
+        let quic = vec![attack(ip(3), AttackProtocol::Quic, 100, 200)];
+        let mut signals = VectorSignals::empty();
+        signals.record_migration(ip(3));
+        let report = classify_multivector_with(&quic, &[], &signals);
+        assert_eq!(report.attacks[0].kinds, vec![VectorKind::MigrationAbuse]);
+        assert_eq!(report.kind_counts["migration-abuse"], 1);
+    }
+
+    #[test]
+    fn both_kinds_attach_in_stable_order() {
+        let quic = vec![attack(ip(4), AttackProtocol::Quic, 100, 200)];
+        let mut signals = VectorSignals::empty();
+        signals.record_migration(ip(4));
+        signals.record_retry(ip(4));
+        let report = classify_multivector_with(&quic, &[], &signals);
+        assert_eq!(
+            report.attacks[0].kinds,
+            vec![VectorKind::RetryAmplification, VectorKind::MigrationAbuse]
+        );
+    }
+
+    #[test]
+    fn report_with_kinds_roundtrips_through_json() {
+        let quic = vec![attack(ip(1), AttackProtocol::Quic, 0, 100)];
+        let mut signals = VectorSignals::empty();
+        signals.record_retry(ip(1));
+        let report = classify_multivector_with(&quic, &[], &signals);
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("RetryAmplification"));
+        let parsed: MultiVectorReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(parsed, report);
     }
 }

@@ -61,6 +61,11 @@ pub struct Session {
     /// Packets per 1-minute slot (minute bucket → count), the basis of
     /// the max-pps intensity metric (§5.2).
     pub minute_counts: HashMap<u64, u64>,
+    /// Connection-ID key observed on this session's packets (hash of
+    /// the client's source CID), when the capture exposed one. Lets
+    /// [`link_migrations`] re-join a flow that changed source address
+    /// mid-session. `None` for address-only sessionization.
+    pub cid_key: Option<u64>,
 }
 
 impl Session {
@@ -95,6 +100,7 @@ struct OpenSession {
     last: Timestamp,
     packet_count: u64,
     minute_counts: HashMap<u64, u64>,
+    cid_key: Option<u64>,
 }
 
 impl OpenSession {
@@ -105,6 +111,7 @@ impl OpenSession {
             end: self.last,
             packet_count: self.packet_count,
             minute_counts: self.minute_counts,
+            cid_key: self.cid_key,
         }
     }
 }
@@ -194,6 +201,19 @@ impl Sessionizer {
         self.offer_with(ts, src, "", &EventMeta::lifecycle(), &mut NoopSubscriber);
     }
 
+    /// [`Sessionizer::offer`] carrying an optional connection-ID key
+    /// (see [`Sessionizer::offer_keyed_with`]).
+    pub fn offer_keyed(&mut self, ts: Timestamp, src: Ipv4Addr, cid_key: Option<u64>) {
+        self.offer_keyed_with(
+            ts,
+            src,
+            cid_key,
+            "",
+            &EventMeta::lifecycle(),
+            &mut NoopSubscriber,
+        );
+    }
+
     /// [`Sessionizer::offer`] with typed event emission: fresh inserts
     /// emit `session_opened`, backwards bounds-widening by an admissible
     /// late packet emits `session_widened`, and gap closes (plus any
@@ -205,6 +225,26 @@ impl Sessionizer {
         &mut self,
         ts: Timestamp,
         src: Ipv4Addr,
+        channel: &str,
+        meta: &EventMeta,
+        subscriber: &mut S,
+    ) {
+        self.offer_keyed_with(ts, src, None, channel, meta, subscriber);
+    }
+
+    /// [`Sessionizer::offer_with`] carrying an optional connection-ID
+    /// key extracted from the packet. The first `Some` key a session
+    /// sees sticks to it (client CIDs are stable across address
+    /// changes), tagging the closed [`Session`] so [`link_migrations`]
+    /// can later re-join flows that migrated between source addresses.
+    /// Keys never alter session boundaries here — sessionization stays
+    /// strictly per source address, which is what keeps N-shard runs
+    /// (sharded by source) equivalent to 1-shard runs.
+    pub fn offer_keyed_with<S: Subscriber>(
+        &mut self,
+        ts: Timestamp,
+        src: Ipv4Addr,
+        cid_key: Option<u64>,
         channel: &str,
         meta: &EventMeta,
         subscriber: &mut S,
@@ -244,6 +284,9 @@ impl Sessionizer {
                 }
                 open.packet_count += 1;
                 *open.minute_counts.entry(minute).or_default() += 1;
+                if open.cid_key.is_none() {
+                    open.cid_key = cid_key;
+                }
             }
             Some(open) => {
                 // Gap exceeded: close and start fresh.
@@ -254,6 +297,7 @@ impl Sessionizer {
                         last: ts,
                         packet_count: 1,
                         minute_counts: HashMap::from([(minute, 1)]),
+                        cid_key,
                     },
                 );
                 let closed = closed.close(src);
@@ -290,6 +334,7 @@ impl Sessionizer {
                         last: ts,
                         packet_count: 1,
                         minute_counts: HashMap::from([(minute, 1)]),
+                        cid_key,
                     },
                 );
                 if subscriber.enabled() {
@@ -477,6 +522,95 @@ pub fn sessionize<I: IntoIterator<Item = (Timestamp, Ipv4Addr)>>(
         s.offer(ts, src);
     }
     s.finish()
+}
+
+/// One mid-flow address change re-joined by [`link_migrations`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationLink {
+    /// The connection-ID key both session halves carried.
+    pub cid_key: u64,
+    /// Source address before the migration.
+    pub from: Ipv4Addr,
+    /// Source address after the migration.
+    pub to: Ipv4Addr,
+    /// First packet timestamp at the new address.
+    pub at: Timestamp,
+    /// Silence between the halves (zero when they overlap).
+    pub gap: Duration,
+}
+
+/// Re-joins sessions whose flow migrated between source addresses.
+///
+/// Address-keyed sessionization splits a flow at every source-address
+/// change even when the connection ID proves continuity (the Buchet et
+/// al. migration pattern). This post-pass runs on the *merged, sorted*
+/// session list — after any sharded sessionizers have been combined —
+/// so its output is identical at every shard count: sessions sharing a
+/// [`Session::cid_key`] are scanned in `(start, src)` order, and each
+/// session whose start lies within `timeout` of the previous session's
+/// end *at a different address* is folded into it (the earliest address
+/// stays canonical). Same-address pairs are never folded: the
+/// sessionizer only splits same-source flows on gaps *exceeding* the
+/// timeout, so such a pair is a genuine timeout split.
+///
+/// Returns one [`MigrationLink`] per fold, in `(at, cid_key)` order;
+/// `links.len()` is the `sessions_migrated` count and the input shrinks
+/// by exactly that many sessions (packet counts are conserved).
+pub fn link_migrations(sessions: &mut Vec<Session>, timeout: Duration) -> Vec<MigrationLink> {
+    let mut by_key: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, s) in sessions.iter().enumerate() {
+        if let Some(key) = s.cid_key {
+            by_key.entry(key).or_default().push(i);
+        }
+    }
+    let mut keys: Vec<u64> = by_key.keys().copied().collect();
+    keys.sort_unstable();
+
+    let mut links = Vec::new();
+    let mut dropped = vec![false; sessions.len()];
+    for key in keys {
+        let mut group = by_key.remove(&key).expect("key collected above");
+        if group.len() < 2 {
+            continue;
+        }
+        group.sort_by_key(|&i| (sessions[i].start, sessions[i].src));
+        let mut head = group[0];
+        for &next in &group[1..] {
+            let gap = sessions[next].start.saturating_since(sessions[head].end);
+            if gap <= timeout && sessions[next].src != sessions[head].src {
+                links.push(MigrationLink {
+                    cid_key: key,
+                    from: sessions[head].src,
+                    to: sessions[next].src,
+                    at: sessions[next].start,
+                    gap,
+                });
+                let (merged, absorbed) = if head < next {
+                    let (a, b) = sessions.split_at_mut(next);
+                    (&mut a[head], &mut b[0])
+                } else {
+                    let (a, b) = sessions.split_at_mut(head);
+                    (&mut b[0], &mut a[next])
+                };
+                merged.end = merged.end.max(absorbed.end);
+                merged.start = merged.start.min(absorbed.start);
+                merged.packet_count += absorbed.packet_count;
+                for (minute, count) in absorbed.minute_counts.drain() {
+                    *merged.minute_counts.entry(minute).or_default() += count;
+                }
+                dropped[next] = true;
+            } else {
+                head = next;
+            }
+        }
+    }
+    if !links.is_empty() {
+        let mut keep = dropped.iter().map(|d| !d);
+        sessions.retain(|_| keep.next().expect("flag per session"));
+        sessions.sort_by_key(|s| (s.start, s.src));
+        links.sort_by_key(|l| (l.at, l.cid_key));
+    }
+    links
 }
 
 /// Counts the sessions produced by each timeout in `timeouts`, plus the
@@ -939,6 +1073,155 @@ mod tests {
         };
         assert!(!flush.expired);
         assert_eq!(flush.src, ip(3));
+    }
+
+    fn offer_keyed(s: &mut Sessionizer, ts: u64, src: Ipv4Addr, key: u64) {
+        s.offer_keyed_with(
+            Timestamp::from_secs(ts),
+            src,
+            Some(key),
+            "",
+            &EventMeta::lifecycle(),
+            &mut NoopSubscriber,
+        );
+    }
+
+    #[test]
+    fn address_change_mid_flow_splits_without_linking() {
+        // Failing-first shape of the migration bug: the same connection
+        // (identical CID key) moves from ip(1) to ip(2) with only 5 s of
+        // silence — far inside the timeout — yet address-keyed
+        // sessionization yields two sessions. link_migrations is the
+        // fix; this pins the raw behaviour it corrects.
+        let mut s = Sessionizer::new(cfg(300));
+        offer_keyed(&mut s, 0, ip(1), 0xabc);
+        offer_keyed(&mut s, 10, ip(1), 0xabc);
+        offer_keyed(&mut s, 15, ip(2), 0xabc);
+        offer_keyed(&mut s, 20, ip(2), 0xabc);
+        let sessions = s.finish();
+        assert_eq!(sessions.len(), 2, "raw sessionization splits on address");
+        assert!(sessions.iter().all(|x| x.cid_key == Some(0xabc)));
+    }
+
+    #[test]
+    fn link_migrations_rejoins_migrated_flow() {
+        let mut s = Sessionizer::new(cfg(300));
+        offer_keyed(&mut s, 0, ip(1), 0xabc);
+        offer_keyed(&mut s, 10, ip(1), 0xabc);
+        offer_keyed(&mut s, 15, ip(2), 0xabc);
+        offer_keyed(&mut s, 20, ip(2), 0xabc);
+        // An unrelated keyed flow that does not migrate.
+        offer_keyed(&mut s, 0, ip(9), 0xdef);
+        let mut sessions = s.finish();
+        let links = link_migrations(&mut sessions, Duration::from_secs(300));
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].from, ip(1));
+        assert_eq!(links[0].to, ip(2));
+        assert_eq!(links[0].at, Timestamp::from_secs(15));
+        assert_eq!(links[0].gap, Duration::from_secs(5));
+        assert_eq!(sessions.len(), 2);
+        let migrated = sessions.iter().find(|x| x.src == ip(1)).unwrap();
+        assert_eq!(migrated.packet_count, 4, "one session spans the move");
+        assert_eq!(migrated.start, Timestamp::from_secs(0));
+        assert_eq!(migrated.end, Timestamp::from_secs(20));
+        let slot_total: u64 = migrated.minute_counts.values().sum();
+        assert_eq!(slot_total, 4);
+    }
+
+    #[test]
+    fn link_migrations_chains_multiple_hops() {
+        // ip(1) → ip(2) → ip(3) under one CID collapses to one session.
+        let mut s = Sessionizer::new(cfg(300));
+        offer_keyed(&mut s, 0, ip(1), 7);
+        offer_keyed(&mut s, 100, ip(2), 7);
+        offer_keyed(&mut s, 200, ip(3), 7);
+        let mut sessions = s.finish();
+        let links = link_migrations(&mut sessions, Duration::from_secs(300));
+        assert_eq!(links.len(), 2);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].src, ip(1), "earliest address is canonical");
+        assert_eq!(sessions[0].packet_count, 3);
+    }
+
+    #[test]
+    fn link_migrations_respects_timeout_and_address() {
+        let timeout = Duration::from_secs(300);
+        // Same CID, but the second half starts past the timeout: a
+        // genuine new connection reusing the key — never folded.
+        let mut s = Sessionizer::new(cfg(300));
+        offer_keyed(&mut s, 0, ip(1), 1);
+        offer_keyed(&mut s, 1000, ip(2), 1);
+        let mut sessions = s.finish();
+        assert!(link_migrations(&mut sessions, timeout).is_empty());
+        assert_eq!(sessions.len(), 2);
+        // Same source split by a timeout gap: never folded either (the
+        // sessionizer only splits same-source flows past the timeout).
+        let mut s = Sessionizer::new(cfg(10));
+        offer_keyed(&mut s, 0, ip(1), 2);
+        offer_keyed(&mut s, 500, ip(1), 2);
+        let mut sessions = s.finish();
+        assert!(link_migrations(&mut sessions, Duration::from_secs(10)).is_empty());
+        assert_eq!(sessions.len(), 2);
+        // Unkeyed sessions are untouched even when temporally adjacent.
+        let mut s = Sessionizer::new(cfg(300));
+        s.offer(Timestamp::from_secs(0), ip(1));
+        s.offer(Timestamp::from_secs(5), ip(2));
+        let mut sessions = s.finish();
+        assert!(link_migrations(&mut sessions, timeout).is_empty());
+        assert_eq!(sessions.len(), 2);
+    }
+
+    #[test]
+    fn link_migrations_is_shard_order_invariant() {
+        // The pass runs on the merged sorted list, so feeding the same
+        // sessions from differently-sharded runs gives identical output.
+        let mut one = Sessionizer::new(cfg(300));
+        offer_keyed(&mut one, 0, ip(1), 5);
+        offer_keyed(&mut one, 50, ip(2), 5);
+        offer_keyed(&mut one, 60, ip(8), 9);
+        let mut merged_single = one.finish();
+
+        // "Two shards": ip(1)/ip(8) on shard A, ip(2) on shard B.
+        let mut a = Sessionizer::new(cfg(300));
+        offer_keyed(&mut a, 0, ip(1), 5);
+        offer_keyed(&mut a, 60, ip(8), 9);
+        let mut b = Sessionizer::new(cfg(300));
+        offer_keyed(&mut b, 50, ip(2), 5);
+        let mut merged_sharded = a.finish();
+        merged_sharded.extend(b.finish());
+        merged_sharded.sort_by_key(|s| (s.start, s.src));
+
+        let links_single = link_migrations(&mut merged_single, Duration::from_secs(300));
+        let links_sharded = link_migrations(&mut merged_sharded, Duration::from_secs(300));
+        assert_eq!(links_single, links_sharded);
+        assert_eq!(merged_single, merged_sharded);
+        assert_eq!(merged_single.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_link_migrations_conserves_packets(
+            raw in proptest::collection::vec((0u64..2_000, 0u8..6, 0u64..4), 1..200),
+        ) {
+            let mut packets: Vec<(u64, Ipv4Addr, u64)> = raw
+                .into_iter()
+                .map(|(ts, src, key)| (ts, ip(src), key))
+                .collect();
+            packets.sort_by_key(|&(ts, src, _)| (ts, src));
+            let mut s = Sessionizer::new(cfg(120));
+            for &(ts, src, key) in &packets {
+                offer_keyed(&mut s, ts, src, key);
+            }
+            let mut sessions = s.finish();
+            let before = sessions.len();
+            let links = link_migrations(&mut sessions, Duration::from_secs(120));
+            prop_assert_eq!(before, sessions.len() + links.len());
+            let total: u64 = sessions.iter().map(|x| x.packet_count).sum();
+            prop_assert_eq!(total, packets.len() as u64);
+            for w in sessions.windows(2) {
+                prop_assert!((w[0].start, w[0].src) <= (w[1].start, w[1].src));
+            }
+        }
     }
 
     proptest! {

@@ -28,6 +28,9 @@
 //! * [`misconfig`] — low-volume response noise (Appendix B).
 //! * [`scenario`] — the orchestrator producing a time-sorted capture
 //!   and the ground truth for validation.
+//! * [`scenarios`] — the post-2021 workload tier: connection-migration
+//!   abuse, evolving aggressive scanners, version drift and Retry
+//!   amplification, layered on the baseline scenario.
 //! * [`streaming`] — constant-memory lazy record generation for the
 //!   benchmark scale ladder (10M+ records without materializing).
 
@@ -41,8 +44,10 @@ pub mod misconfig;
 pub mod research;
 pub mod scanners;
 pub mod scenario;
+pub mod scenarios;
 pub mod streaming;
 
 pub use config::ScenarioConfig;
 pub use scenario::{GroundTruth, Scenario};
+pub use scenarios::{EvolvingScanConfig, EvolvingScanStream, ScenarioKind, UnknownScenario};
 pub use streaming::{RecordStream, StreamConfig};

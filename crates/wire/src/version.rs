@@ -16,6 +16,9 @@ pub enum Version {
     Negotiation,
     /// QUIC version 1, RFC 9000 (`0x00000001`).
     V1,
+    /// QUIC version 2, RFC 9369 (`0x6b3343cf`) — post-2021 deployments
+    /// drift toward it while v1 remains on the wire.
+    V2,
     /// IETF draft-27 (`0xff00001b`).
     Draft27,
     /// IETF draft-29 (`0xff00001d`) — dominant in Google backscatter.
@@ -32,6 +35,8 @@ pub enum Version {
 impl Version {
     /// Wire value of QUIC v1.
     pub const V1_WIRE: u32 = 0x0000_0001;
+    /// Wire value of QUIC v2 (RFC 9369).
+    pub const V2_WIRE: u32 = 0x6b33_43cf;
     /// Wire value of IETF draft-27.
     pub const DRAFT27_WIRE: u32 = 0xff00_001b;
     /// Wire value of IETF draft-29.
@@ -44,6 +49,7 @@ impl Version {
         match value {
             0 => Version::Negotiation,
             Self::V1_WIRE => Version::V1,
+            Self::V2_WIRE => Version::V2,
             Self::DRAFT27_WIRE => Version::Draft27,
             Self::DRAFT29_WIRE => Version::Draft29,
             Self::MVFST_D27_WIRE => Version::MvfstDraft27,
@@ -57,6 +63,7 @@ impl Version {
         match self {
             Version::Negotiation => 0,
             Version::V1 => Self::V1_WIRE,
+            Version::V2 => Self::V2_WIRE,
             Version::Draft27 => Self::DRAFT27_WIRE,
             Version::Draft29 => Self::DRAFT29_WIRE,
             Version::MvfstDraft27 => Self::MVFST_D27_WIRE,
@@ -76,7 +83,7 @@ impl Version {
     pub fn is_supported(self) -> bool {
         matches!(
             self,
-            Version::V1 | Version::Draft27 | Version::Draft29 | Version::MvfstDraft27
+            Version::V1 | Version::V2 | Version::Draft27 | Version::Draft29 | Version::MvfstDraft27
         )
     }
 
@@ -95,6 +102,7 @@ impl Version {
         match self {
             Version::Negotiation => "negotiation".to_string(),
             Version::V1 => "v1".to_string(),
+            Version::V2 => "v2".to_string(),
             Version::Draft27 => "draft-27".to_string(),
             Version::Draft29 => "draft-29".to_string(),
             Version::MvfstDraft27 => "mvfst-draft-27".to_string(),
@@ -120,6 +128,7 @@ mod tests {
         for v in [
             Version::Negotiation,
             Version::V1,
+            Version::V2,
             Version::Draft27,
             Version::Draft29,
             Version::MvfstDraft27,
@@ -131,6 +140,7 @@ mod tests {
     #[test]
     fn wire_values_match_registry() {
         assert_eq!(Version::V1.to_wire(), 1);
+        assert_eq!(Version::V2.to_wire(), 0x6b33_43cf);
         assert_eq!(Version::Draft29.to_wire(), 0xff00_001d);
         assert_eq!(Version::Draft27.to_wire(), 0xff00_001b);
         assert_eq!(Version::MvfstDraft27.to_wire(), 0xface_b002);
@@ -151,6 +161,7 @@ mod tests {
     #[test]
     fn support_matrix() {
         assert!(Version::V1.is_supported());
+        assert!(Version::V2.is_supported());
         assert!(Version::Draft29.is_supported());
         assert!(Version::MvfstDraft27.is_supported());
         assert!(!Version::Negotiation.is_supported());
@@ -166,6 +177,7 @@ mod tests {
     #[test]
     fn labels_match_paper_terms() {
         assert_eq!(Version::Draft29.label(), "draft-29");
+        assert_eq!(Version::V2.label(), "v2");
         assert_eq!(Version::MvfstDraft27.label(), "mvfst-draft-27");
         assert_eq!(Version::V1.to_string(), "v1");
     }

@@ -9,6 +9,8 @@
 #                              # opt-in large tier (10M records); no-op
 #                              # unless QUICSAND_BENCH_SCALE=large
 #   scripts/ci.sh events-smoke # only the qlog export + forensic replay gate
+#   scripts/ci.sh scenario-smoke
+#                              # only the post-2021 scenario-tier gate
 #
 # The repo vendors all third-party dependencies (vendor/), so this runs
 # without network access.
@@ -178,6 +180,49 @@ events_smoke() {
   echo "events-smoke: qlog framing valid, every closed alert replayed — OK"
 }
 
+scenario_smoke() {
+  # Post-2021 scenario-tier gate: every ScenarioKind must generate,
+  # analyze, stream shard-invariantly through the live engine, and
+  # export a framing-valid qlog event stream — the CLI face of the
+  # conformance suite in tests/scenarios.rs (which pins the goldens
+  # and the full {1,2,8}-shard alert equivalence).
+  echo "==> scenario-smoke: post-2021 scenario tier end-to-end gate"
+  local scenario_dir profile kind one two
+  profile="${profile_flag---release}"
+  scenario_dir="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '$scenario_dir'" RETURN
+  for kind in migration-abuse evolving-scanners version-drift retry-amplification; do
+    echo "==> scenario-smoke: $kind"
+    cargo run -q $profile -- generate --out "$scenario_dir/$kind.qscp" \
+      --scale test --seed 7 --scenario "$kind"
+    cargo run -q $profile -- analyze "$scenario_dir/$kind.qscp" \
+      >"$scenario_dir/$kind.analyze"
+    grep -qE '^QUIC floods: [1-9]' "$scenario_dir/$kind.analyze" || {
+      echo "scenario-smoke: $kind analysis reported no QUIC floods" >&2
+      tail -5 "$scenario_dir/$kind.analyze" >&2
+      exit 1
+    }
+    one="$(cargo run -q $profile -- live "$scenario_dir/$kind.qscp" --shards 1 \
+      | grep -E '^live: [0-9]+ QUIC flood')"
+    two="$(cargo run -q $profile -- live "$scenario_dir/$kind.qscp" --shards 2 \
+      --events-out "$scenario_dir/$kind.qlog" 2>/dev/null \
+      | grep -E '^live: [0-9]+ QUIC flood')"
+    [[ "$one" == "$two" ]] || {
+      echo "scenario-smoke: $kind live summary diverges across shard counts" >&2
+      echo "  shards=1: $one" >&2
+      echo "  shards=2: $two" >&2
+      exit 1
+    }
+    cargo run -q $profile -- forensics check "$scenario_dir/$kind.qlog" \
+      | grep -q 'valid qlog JSON-SEQ' || {
+      echo "scenario-smoke: $kind exported qlog failed framing validation" >&2
+      exit 1
+    }
+  done
+  echo "scenario-smoke: all 4 kinds generate, analyze, stream shard-invariantly, export valid qlog — OK"
+}
+
 if [[ "${1:-}" == "bench-smoke" ]]; then
   bench_smoke
   exit 0
@@ -195,6 +240,11 @@ fi
 
 if [[ "${1:-}" == "events-smoke" ]]; then
   events_smoke
+  exit 0
+fi
+
+if [[ "${1:-}" == "scenario-smoke" ]]; then
+  scenario_smoke
   exit 0
 fi
 

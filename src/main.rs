@@ -17,7 +17,7 @@ use quicsand_net::ZeroCopyCaptureReader;
 use quicsand_obs::EventsMetrics;
 use quicsand_sessions::multivector::MultiVectorClass;
 use quicsand_sessions::Cdf;
-use quicsand_traffic::{Scenario, ScenarioConfig};
+use quicsand_traffic::{Scenario, ScenarioConfig, ScenarioKind};
 use std::io::BufWriter;
 use std::process::ExitCode;
 
@@ -56,7 +56,16 @@ quicsand — QUIC scan & DoS-flood measurement toolkit (IMC'21 reproduction)
 
 USAGE:
     quicsand generate --out <file.qscp> [--scale test|demo|paper] [--seed N]
+                      [--scenario migration-abuse|evolving-scanners|
+                                  version-drift|retry-amplification]
         Generate a synthetic telescope capture and write it to disk.
+        --scenario layers a post-2021 workload variant on top of the
+        baseline: connection-migration abuse (stable-CID flows that
+        switch source address mid-session), evolving aggressive
+        scanners (cadence and coverage grow week over week), version
+        drift (draft retirement -> v1 -> v2 with Version Negotiation
+        backscatter), or Retry amplification (victims answer spoofed
+        Initials with varied-token Retry packets).
 
     quicsand analyze <file.qscp> [--threads N] [--verbose]
                      [--fault-profile none|standard|aggressive] [--fault-seed N]
@@ -262,11 +271,23 @@ fn scale_config(args: &[String]) -> Result<ScenarioConfig, String> {
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let out = flag_value(args, "--out")?.ok_or("generate requires --out <file>")?;
     let config = scale_config(args)?;
-    eprintln!(
-        "generating scenario (seed {:#x}, {} days)...",
-        config.seed, config.days
-    );
-    let scenario = Scenario::generate(&config);
+    let kind = flag_value(args, "--scenario")?
+        .map(|s| s.parse::<ScenarioKind>().map_err(|e| e.to_string()))
+        .transpose()?;
+    match kind {
+        Some(kind) => eprintln!(
+            "generating {kind} scenario (seed {:#x}, {} days)...",
+            config.seed, config.days
+        ),
+        None => eprintln!(
+            "generating scenario (seed {:#x}, {} days)...",
+            config.seed, config.days
+        ),
+    }
+    let scenario = match kind {
+        Some(kind) => kind.generate(&config),
+        None => Scenario::generate(&config),
+    };
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     let mut writer =
         CaptureWriter::new(BufWriter::new(file)).map_err(|e| format!("write header: {e}"))?;

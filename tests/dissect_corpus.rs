@@ -41,6 +41,52 @@ fn every_prefix_of_a_valid_initial_is_rejected() {
     }
 }
 
+/// The post-2021 corpus entries carry semantics beyond pass/fail: the
+/// v2 frames must announce the v2 wire version, the Retry variants
+/// must register as retries whatever their token size, the VN entry
+/// must read as version 0, and the migration-grade Initial must yield
+/// the CID key the migration linker folds sessions on.
+#[test]
+fn post_2021_entries_expose_their_semantics() {
+    let corpus = adversarial_corpus();
+    let find = |name: &str| {
+        &corpus
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("corpus carries {name:?}"))
+            .payload
+    };
+
+    const V2_WIRE: u32 = 0x6b3343cf;
+    let v2_initial = dissect_udp_payload(find("v2 initial accepted")).unwrap();
+    assert_eq!(v2_initial.version(), Some(V2_WIRE));
+    assert!(!v2_initial.has_retry());
+
+    let v2_retry = dissect_udp_payload(find("v2 retry accepted")).unwrap();
+    assert_eq!(v2_retry.version(), Some(V2_WIRE));
+    assert!(v2_retry.has_retry());
+
+    for name in [
+        "retry with empty token",
+        "retry with 128-byte amplification token",
+    ] {
+        let d = dissect_udp_payload(find(name)).unwrap();
+        assert!(d.has_retry(), "{name} registers as a retry");
+    }
+
+    let vn = dissect_udp_payload(find("version negotiation offering v1 and v2")).unwrap();
+    assert_eq!(vn.version(), Some(0), "vn announces version 0");
+
+    let keyed = dissect_udp_payload(find("v2 initial with migration-grade 8-byte scid")).unwrap();
+    let key = keyed.client_cid_key().expect("non-empty scid yields a key");
+    // Same scid bytes -> same key, independent of the rest of the frame.
+    let again = dissect_udp_payload(find("v2 initial with migration-grade 8-byte scid")).unwrap();
+    assert_eq!(again.client_cid_key(), Some(key));
+    // A different scid yields a different key.
+    let other = dissect_udp_payload(find("minimal valid initial")).unwrap();
+    assert_ne!(other.client_cid_key(), Some(key));
+}
+
 /// The same boundary discipline at the header layer: typed `WireError`s
 /// for the canonical malformations.
 #[test]

@@ -573,3 +573,56 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// The evolving-scan budget arithmetic: for any pool shape, the
+    /// per-shard record budgets partition the configured total exactly
+    /// — the pure-function core of the stream's shard contract.
+    #[test]
+    fn prop_evolving_budgets_partition_exactly(
+        seed in any::<u64>(),
+        records in 0u64..50_000,
+        scanners in 1u32..64,
+        shards in 1u32..9,
+    ) {
+        let telescope = quicsand_net::ip::telescope_prefix();
+        let config = quicsand_traffic::EvolvingScanConfig::new(
+            seed, records, scanners, telescope, 86_400 * 7,
+        );
+        let total: u64 = (0..shards)
+            .map(|i| config.shard(shards, i).shard_records())
+            .sum();
+        prop_assert_eq!(total, records, "shard budgets must sum to the total");
+        prop_assert_eq!(config.shard_records(), records, "unsharded budget is the total");
+    }
+
+    /// The evolving-scan stream's batch and streaming faces agree:
+    /// collecting the iterator and draining the `StreamSource`
+    /// interface yield the identical record sequence, with monotone
+    /// timestamps, for any seed.
+    #[test]
+    fn prop_evolving_stream_source_equals_iterator(
+        seed in any::<u64>(),
+        records in 1u64..2_000,
+        scanners in 1u32..12,
+    ) {
+        use quicsand_net::StreamSource;
+        let telescope = quicsand_net::ip::telescope_prefix();
+        let config = quicsand_traffic::EvolvingScanConfig::new(
+            seed, records, scanners, telescope, 86_400 * 7,
+        );
+        let batch: Vec<PacketRecord> =
+            quicsand_traffic::EvolvingScanStream::new(&config).collect();
+        let mut streamed = Vec::new();
+        let mut source = quicsand_traffic::EvolvingScanStream::new(&config);
+        while let Some(record) = source.next_record() {
+            streamed.push(record.expect("stream never errors"));
+        }
+        prop_assert_eq!(&streamed, &batch, "streaming face equals batch face");
+        prop_assert!(
+            batch.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "timestamps stay monotone"
+        );
+        prop_assert_eq!(batch.len() as u64, records, "budget honored exactly");
+    }
+}
